@@ -1,0 +1,20 @@
+//! Criterion wrappers: one benchmark per paper artifact.
+//!
+//! Each bench runs the corresponding experiment in quick mode, so
+//! `cargo bench` both regenerates every table/figure and tracks how fast
+//! the simulator itself executes them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn paper_artifacts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    for (id, runner) in disagg_bench::exp::all() {
+        g.bench_function(id, |b| b.iter(|| black_box(runner(true))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, paper_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Runs the entire evaluation and prints every table (ASCII), or emits
+//! the Markdown used in EXPERIMENTS.md with `--markdown`. `--quick`
+//! shrinks workloads.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    for (id, runner) in disagg_bench::exp::all() {
+        eprintln!("running {id} ...");
+        let table = runner(quick);
+        if markdown {
+            println!("{}", table.render_markdown());
+        } else {
+            println!("{}", table.render());
+        }
+    }
+}

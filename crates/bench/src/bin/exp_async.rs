@@ -1,0 +1,7 @@
+//! Regenerates the sync/async crossover experiment. Pass `--quick` for a
+//! fast run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", disagg_bench::exp::asynk::run(quick).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2 artifact. Pass `--quick` for a fast run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", disagg_bench::exp::fig2::run(quick).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the batch-vs-stream pipelining experiment. Pass `--quick`
+//! for a fast run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", disagg_bench::exp::stream::run(quick).render());
+}

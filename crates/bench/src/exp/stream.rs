@@ -1,0 +1,128 @@
+//! E15 — the paper's batch-vs-stream property ("Jobs and tasks could be
+//! either streamed or processed in batches", §2.1).
+//!
+//! The same task chain runs twice: declared batch (each stage waits for
+//! its predecessor's full output) and declared streaming (a stage starts
+//! once the predecessor's first chunk is out, when the handover is a
+//! zero-copy ownership transfer). The assertable shape: the streaming
+//! speedup grows with chain depth and saturates near the pipeline depth.
+
+use disagg_core::prelude::*;
+use disagg_hwsim::compute::WorkClass;
+use disagg_hwsim::presets::single_server;
+
+use crate::{fmt_dur, fmt_ratio, Table};
+
+/// One chain-length measurement.
+#[derive(Debug, Clone)]
+pub struct ChainPoint {
+    /// Number of stages.
+    pub stages: usize,
+    /// Batch makespan.
+    pub batch: SimDuration,
+    /// Streaming makespan.
+    pub streamed: SimDuration,
+}
+
+impl ChainPoint {
+    /// batch / streamed.
+    pub fn speedup(&self) -> f64 {
+        self.batch.as_nanos_f64() / self.streamed.as_nanos_f64()
+    }
+}
+
+fn chain_job(stages: usize, streaming: bool, elems: u64) -> JobSpec {
+    let mut job = JobBuilder::new("chain");
+    let ids: Vec<TaskId> = (0..stages)
+        .map(|i| {
+            job.task(
+                TaskSpec::new(format!("stage{i}"))
+                    .streaming(streaming)
+                    .work(WorkClass::Scalar, elems)
+                    .output_bytes(1 << 20)
+                    .body(move |ctx| {
+                        ctx.compute(WorkClass::Scalar, elems);
+                        ctx.write_output(0, &[1u8; 1 << 20])?;
+                        Ok(())
+                    }),
+            )
+        })
+        .collect();
+    job.chain(&ids);
+    job.build().expect("chain job is valid")
+}
+
+/// Measures both modes over a sweep of chain depths.
+pub fn measure(quick: bool) -> Vec<ChainPoint> {
+    let elems: u64 = if quick { 500_000 } else { 5_000_000 };
+    let depths: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16, 24] };
+    depths
+        .iter()
+        .map(|&stages| {
+            let run = |streaming| {
+                let (topo, _) = single_server();
+                let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+                rt.submit(chain_job(stages, streaming, elems))
+                    .expect("chain runs")
+                    .makespan
+            };
+            ChainPoint {
+                stages,
+                batch: run(false),
+                streamed: run(true),
+            }
+        })
+        .collect()
+}
+
+/// Runs E15.
+pub fn run(quick: bool) -> Table {
+    let points = measure(quick);
+    let mut t = Table::new(
+        "stream",
+        "Batch vs stream: pipelined task chains (the Figure 2c property)",
+        &["Stages", "Batch", "Streamed", "Speedup"],
+    );
+    for p in &points {
+        t.row(vec![
+            p.stages.to_string(),
+            fmt_dur(p.batch),
+            fmt_dur(p.streamed),
+            fmt_ratio(p.speedup()),
+        ]);
+    }
+    t.note("streaming edges release consumers at first-chunk time (pipeline depth 8)");
+    t.note("speedup grows with chain depth and saturates near the pipeline depth");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_speedup_grows_with_depth_and_stays_bounded() {
+        let points = measure(true);
+        let s: Vec<f64> = points.iter().map(ChainPoint::speedup).collect();
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0] * 0.95, "speedups should grow: {s:?}");
+        }
+        assert!(*s.last().unwrap() > 2.0, "deep chains pipeline well: {s:?}");
+        for (p, &v) in points.iter().zip(&s) {
+            assert!(
+                v <= p.stages as f64,
+                "{} stages cannot beat {}x, got {v:.2}",
+                p.stages,
+                p.stages
+            );
+        }
+    }
+
+    #[test]
+    fn two_stage_chains_gain_modestly() {
+        let points = measure(true);
+        let two = points.iter().find(|p| p.stages == 2).unwrap();
+        assert!(two.speedup() < 2.0);
+        assert!(two.speedup() > 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! E2 — Table 2: the predefined region types resolve to devices that
+//! satisfy their property bundles.
+//!
+//! For each of the paper's three named regions (Global State, Global
+//! Scratch, Private Scratch) we ask the placement optimizer for a device
+//! — once from the CPU and once from the GPU — and audit the chosen
+//! device against the bundle. The assertable shape: placements differ by
+//! executing device exactly where Table 2's properties allow it, and no
+//! placement violates its bundle.
+
+use disagg_hwsim::ids::ComputeId;
+use disagg_hwsim::presets::single_server;
+use disagg_region::pool::MemoryPool;
+use disagg_region::typed::RegionType;
+use disagg_sched::placement::{PlacementEngine, PlacementPolicy};
+
+use crate::Table;
+
+/// One resolved row: region type × executing device → chosen device.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// Region type name.
+    pub region: &'static str,
+    /// Executing compute device name.
+    pub from: &'static str,
+    /// Chosen memory device name.
+    pub device: String,
+    /// Whether the bundle is satisfied on the chosen device.
+    pub satisfied: bool,
+}
+
+/// Resolves each Table 2 region type from the CPU and the GPU.
+pub fn resolve(size: u64) -> Vec<Resolution> {
+    let (topo, h) = single_server();
+    let pool = MemoryPool::new(&topo);
+    let mut engine = PlacementEngine::new(PlacementPolicy::Declarative);
+    let mut out = Vec::new();
+    let computes: [(ComputeId, &str); 2] = [(h.cpu, "CPU"), (h.gpu, "GPU")];
+    for rtype in RegionType::TABLE2 {
+        for &(c, cname) in &computes {
+            let props = rtype.properties();
+            let dev = engine
+                .choose(&topo, &pool, c, &props, size)
+                .expect("single_server satisfies every Table 2 bundle");
+            let path = topo.path(c, dev).expect("chosen devices are reachable");
+            out.push(Resolution {
+                region: rtype.name(),
+                from: cname,
+                device: topo.mem(dev).kind.name().to_string(),
+                satisfied: props.satisfied_by(topo.mem(dev), path),
+            });
+        }
+    }
+    out
+}
+
+/// Runs E2.
+pub fn run(_quick: bool) -> Table {
+    let rows = resolve(32 << 20);
+    let mut t = Table::new(
+        "table2",
+        "Table 2: Common Memory Regions resolved by the runtime",
+        &["Region", "From", "Chosen device", "Bundle satisfied"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.region.to_string(),
+            r.from.to_string(),
+            r.device.clone(),
+            if r.satisfied { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.note("Global State {coherent, sync}; Global Scratch {coherent, async}; Private Scratch {noncoherent, sync}");
+    t.note("private scratch is device-relative: DRAM-class under the CPU, GDDR under the GPU");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bundle_is_satisfied() {
+        assert!(resolve(32 << 20).iter().all(|r| r.satisfied));
+    }
+
+    #[test]
+    fn private_scratch_follows_the_executing_device() {
+        let rows = resolve(1 << 30);
+        let find = |region: &str, from: &str| {
+            rows.iter()
+                .find(|r| r.region == region && r.from == from)
+                .unwrap()
+                .device
+                .clone()
+        };
+        assert_eq!(find("Private Scratch", "CPU"), "DRAM");
+        assert_eq!(find("Private Scratch", "GPU"), "GDDR");
+    }
+
+    #[test]
+    fn shared_region_types_land_on_coherent_devices() {
+        let (topo, _) = single_server();
+        for r in resolve(32 << 20) {
+            if r.region != "Private Scratch" {
+                let dev = topo
+                    .mem_devices()
+                    .iter()
+                    .find(|m| m.kind.name() == r.device)
+                    .unwrap();
+                assert!(dev.coherent, "{} on non-coherent {}", r.region, r.device);
+            }
+        }
+    }
+
+    #[test]
+    fn table_has_six_rows() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 6);
+    }
+}

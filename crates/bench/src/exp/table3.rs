@@ -1,0 +1,124 @@
+//! E3 — Table 3: the four application types run on the three regions,
+//! and declarative placement beats naïve placement on every one of them.
+//!
+//! Each workload (DBMS, ML/AI, HPC, streaming) is executed twice on the
+//! same hardware — once with the memory-centric declarative optimizer,
+//! once with the worst-feasible adversary bounding naïve placement — and
+//! the table reports both makespans and the speedup.
+
+use disagg_core::prelude::*;
+use disagg_hwsim::presets::single_server;
+use disagg_workloads::{dbms, hpc, ml, streaming};
+
+use crate::{fmt_dur, fmt_ratio, Table};
+
+/// One application row.
+#[derive(Debug, Clone)]
+pub struct AppRow {
+    /// Application class.
+    pub app: &'static str,
+    /// Declarative-placement makespan.
+    pub declarative: SimDuration,
+    /// Worst-feasible-placement makespan.
+    pub naive: SimDuration,
+}
+
+impl AppRow {
+    /// naive / declarative.
+    pub fn speedup(&self) -> f64 {
+        self.naive.as_nanos_f64() / self.declarative.as_nanos_f64().max(1.0)
+    }
+}
+
+fn job_for(app: &str, quick: bool) -> JobSpec {
+    let scale = if quick { 1 } else { 4 };
+    match app {
+        "DBMS" => dbms::query_job(dbms::DbmsConfig {
+            tuples: 4_000 * scale,
+            probe_tuples: 2_000 * scale,
+            ..dbms::DbmsConfig::default()
+        }),
+        "ML/AI" => ml::training_job(ml::MlConfig {
+            samples: 2_048 * scale,
+            epochs: 2 * scale,
+            ..ml::MlConfig::default()
+        }),
+        "HPC" => hpc::stencil_job(hpc::HpcConfig {
+            cells: 4_096 * scale,
+            sweeps: 6 * scale,
+            ..hpc::HpcConfig::default()
+        }),
+        "Streaming" => streaming::windowed_job(streaming::StreamConfig {
+            events: 5_000 * scale,
+            ..streaming::StreamConfig::default()
+        }),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Runs every application under both placement policies.
+pub fn measure(quick: bool) -> Vec<AppRow> {
+    ["DBMS", "ML/AI", "HPC", "Streaming"]
+        .into_iter()
+        .map(|app| {
+            let run = |policy: PlacementPolicy| {
+                let (topo, _) = single_server();
+                let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_placement(policy));
+                rt.submit(job_for(app, quick)).expect("workload runs").makespan
+            };
+            AppRow {
+                app,
+                declarative: run(PlacementPolicy::Declarative),
+                naive: run(PlacementPolicy::WorstFeasible),
+            }
+        })
+        .collect()
+}
+
+/// Runs E3.
+pub fn run(quick: bool) -> Table {
+    let rows = measure(quick);
+    let mut t = Table::new(
+        "table3",
+        "Table 3: Application types on the three Memory Regions",
+        &["Application", "Declarative", "Naive (worst feasible)", "Speedup"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.app.to_string(),
+            fmt_dur(r.declarative),
+            fmt_dur(r.naive),
+            fmt_ratio(r.speedup()),
+        ]);
+    }
+    t.note("each app uses private scratch / global state / global scratch per Table 3");
+    t.note("expected shape: declarative wins on every application class");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declarative_wins_on_every_application_class() {
+        for r in measure(true) {
+            assert!(
+                r.speedup() > 1.0,
+                "{}: declarative {} vs naive {}",
+                r.app,
+                r.declarative,
+                r.naive
+            );
+        }
+    }
+
+    #[test]
+    fn all_four_rows_present() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+        for app in ["DBMS", "ML/AI", "HPC", "Streaming"] {
+            assert!(t.cell(app, "Speedup").is_some(), "missing {app}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! E14 — hotness-driven tiering (the RTS's "optimize the placement of
+//! memory regions ... pointer tagging to track the hotness of pages or
+//! objects" discussion, Challenges 1-3).
+//!
+//! A working set of many regions starts spread across DRAM / CXL / far
+//! memory with no knowledge of future access patterns. Accesses follow a
+//! Zipf distribution over regions; after every epoch the tiering policy
+//! promotes what turned out hot and demotes what turned out cold. The
+//! assertable shape: with tiering on, per-epoch access time converges
+//! well below the static placement; the first epoch pays a migration
+//! toll.
+
+use disagg_hwsim::contention::BandwidthLedger;
+use disagg_hwsim::device::AccessPattern;
+use disagg_hwsim::presets::single_server;
+use disagg_hwsim::rng::SimRng;
+use disagg_hwsim::time::{SimDuration, SimTime};
+use disagg_hwsim::trace::Trace;
+use disagg_region::access::Accessor;
+use disagg_region::hotness::HotnessTracker;
+use disagg_region::migrate::{migrate, TieringPolicy};
+use disagg_region::pool::RegionId;
+use disagg_region::props::{AccessMode, PropertySet};
+use disagg_region::region::{OwnerId, RegionManager};
+use disagg_region::typed::RegionType;
+use disagg_workloads::gen::Zipf;
+
+use crate::{fmt_dur, fmt_ratio, Table};
+
+const WHO: OwnerId = OwnerId::App;
+
+/// Per-epoch measurements for one configuration.
+#[derive(Debug, Clone)]
+pub struct EpochSeries {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Access time per epoch (excluding migration).
+    pub epoch_access: Vec<SimDuration>,
+    /// Migration time per epoch (zero when tiering is off).
+    pub epoch_migration: Vec<SimDuration>,
+}
+
+/// Runs `epochs` of Zipf-skewed accesses over `regions` regions, with or
+/// without a tiering pass between epochs.
+pub fn measure_one(tiering_on: bool, quick: bool) -> EpochSeries {
+    let (topo, h) = single_server();
+    let regions_n = 48usize;
+    let region_bytes: u64 = 2 << 20;
+    let epochs = if quick { 5 } else { 8 };
+    let accesses_per_epoch = if quick { 400 } else { 2_000 };
+
+    let mut mgr = RegionManager::new(&topo);
+    let mut ledger = BandwidthLedger::default_buckets();
+    let mut trace = Trace::disabled();
+    let props = PropertySet::new().with_mode(AccessMode::Async);
+
+    // Initial spread: round-robin DRAM / CXL / far (placement made with
+    // zero knowledge of the future access skew).
+    let homes = [h.dram, h.cxl, h.far];
+    let ids: Vec<RegionId> = (0..regions_n)
+        .map(|i| {
+            mgr.alloc(
+                homes[i % homes.len()],
+                region_bytes,
+                RegionType::GlobalScratch,
+                props.clone(),
+                WHO,
+                SimTime::ZERO,
+            )
+            .expect("region fits")
+        })
+        .collect();
+
+    let zipf = Zipf::new(regions_n, 1.1);
+    let mut rng = SimRng::new(99);
+    let mut tracker = HotnessTracker::new();
+    // Tier order restricted to the three homes: tiering moves data among
+    // the pool tiers, not onto the CPU cache.
+    let mut policy = TieringPolicy::new(vec![h.dram, h.cxl, h.far]);
+    policy.promote_score = 4.0;
+    policy.demote_score = 0.5;
+
+    let mut now = SimTime::ZERO;
+    let mut epoch_access = Vec::with_capacity(epochs);
+    let mut epoch_migration = Vec::with_capacity(epochs);
+    let mut buf = vec![0u8; 64 << 10];
+    for _ in 0..epochs {
+        // The access epoch.
+        let mut acc = Accessor::new(&topo, &mut ledger, &mut mgr, &mut trace, h.cpu, WHO, now);
+        for _ in 0..accesses_per_epoch {
+            let r = ids[zipf.sample(&mut rng)];
+            let off = rng.next_below(region_bytes - buf.len() as u64);
+            acc.read(r, off, &mut buf, AccessPattern::Sequential)
+                .expect("read");
+            tracker.record(r, buf.len() as u64, acc.now);
+        }
+        let end = acc.now;
+        epoch_access.push(end - now);
+        now = end;
+
+        // The tiering pass.
+        let mut mig_time = SimDuration::ZERO;
+        if tiering_on {
+            for (id, to) in policy.plan(&mgr, &topo, &tracker) {
+                let (_, took) =
+                    migrate(&mut mgr, &topo, &mut ledger, &mut trace, id, to, now)
+                        .expect("migration");
+                mig_time = mig_time.max(took);
+            }
+            now += mig_time;
+        }
+        epoch_migration.push(mig_time);
+        tracker.decay();
+    }
+    EpochSeries {
+        config: if tiering_on { "tiering on" } else { "static spread" },
+        epoch_access,
+        epoch_migration,
+    }
+}
+
+/// Runs E14.
+pub fn run(quick: bool) -> Table {
+    let off = measure_one(false, quick);
+    let on = measure_one(true, quick);
+    let mut t = Table::new(
+        "tiering",
+        "Hotness-driven tiering: per-epoch access time, static vs tiered",
+        &["Epoch", "Static spread", "Tiering on", "Migration cost", "Speedup"],
+    );
+    for i in 0..off.epoch_access.len() {
+        t.row(vec![
+            format!("{}", i + 1),
+            fmt_dur(off.epoch_access[i]),
+            fmt_dur(on.epoch_access[i]),
+            fmt_dur(on.epoch_migration[i]),
+            fmt_ratio(
+                off.epoch_access[i].as_nanos_f64() / on.epoch_access[i].as_nanos_f64(),
+            ),
+        ]);
+    }
+    t.note("Zipf(1.1) accesses over 48 regions spread round-robin across DRAM/CXL/far memory");
+    t.note("hot regions promote to DRAM after the first epoch; the migration toll amortizes");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiering_converges_to_a_faster_steady_state() {
+        let off = measure_one(false, true);
+        let on = measure_one(true, true);
+        let last = off.epoch_access.len() - 1;
+        let speedup = off.epoch_access[last].as_nanos_f64()
+            / on.epoch_access[last].as_nanos_f64();
+        assert!(
+            speedup > 1.5,
+            "steady-state speedup {speedup:.2} should exceed 1.5x"
+        );
+    }
+
+    #[test]
+    fn static_spread_never_improves() {
+        let off = measure_one(false, true);
+        let first = off.epoch_access[0].as_nanos_f64();
+        let last = off.epoch_access.last().unwrap().as_nanos_f64();
+        assert!(
+            (last / first) > 0.8 && (last / first) < 1.2,
+            "static epochs should be flat, got first {first} last {last}"
+        );
+    }
+
+    #[test]
+    fn migration_happens_early_then_subsides() {
+        let on = measure_one(true, true);
+        assert!(
+            on.epoch_migration[0] > SimDuration::ZERO,
+            "first epoch should migrate"
+        );
+        let late = *on.epoch_migration.last().unwrap();
+        assert!(
+            late <= on.epoch_migration[0],
+            "late migrations {late} should not exceed the initial burst {}",
+            on.epoch_migration[0]
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! The benchmark harness: one experiment per table/figure of the paper,
+//! plus one per quantitative claim in its text.
+//!
+//! Each experiment module exposes `run(quick) -> Table`; the `exp_*`
+//! binaries print them and `exp_all` regenerates the full evaluation.
+//! `quick = true` shrinks workloads for CI/tests; the *shape* assertions
+//! in each module's tests hold in both modes.
+//!
+//! | Experiment | Paper artifact | Binary |
+//! |---|---|---|
+//! | [`exp::table1`] | Table 1 (device properties) | `exp_table1` |
+//! | [`exp::table2`] | Table 2 (region types → devices) | `exp_table2` |
+//! | [`exp::table3`] | Table 3 (application types) | `exp_table3` |
+//! | [`exp::fig1`] | Figure 1 (compute- vs memory-centric) | `exp_fig1` |
+//! | [`exp::fig2`] | Figure 2 (hospital dataflow) | `exp_fig2` |
+//! | [`exp::fig3`] | Figure 3 (per-device region mapping) | `exp_fig3` |
+//! | [`exp::fig4`] | Figure 4 (ownership transfer vs copy) | `exp_fig4` |
+//! | [`exp::numa`] | §1 "NUMA up to 3×" | `exp_numa` |
+//! | [`exp::naive`] | §1 "naïve placement up to 3×" | `exp_naive` |
+//! | [`exp::asynk`] | §2.2(3) sync/async crossover | `exp_async` |
+//! | [`exp::fig1`] | §1 utilization / cost claims (E11) | `exp_fig1` |
+//! | [`exp::ftol`] | Challenge 8(3) replication vs erasure coding | `exp_ftol` |
+//! | [`exp::tiering`] | hotness-driven tiering (Challenges 1-3) | `exp_tiering` |
+//! | [`exp::ablation`] | design-choice ablations | `exp_ablation` |
+
+pub mod exp;
+
+use disagg_hwsim::time::SimDuration;
+
+/// A rendered experiment result: paper-style rows plus notes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Short id ("table1", "fig4", ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (expected shape, observations).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} [{}] ==\n", self.title, self.id));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Renders as a Markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} (`{}`)\n\n", self.title, self.id));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Finds a cell by row label (first column) and column header.
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == row_label)
+            .map(|r| r[col].as_str())
+    }
+}
+
+/// Formats bytes human-readably.
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+/// Formats a duration for table cells.
+pub fn fmt_dur(d: SimDuration) -> String {
+    d.to_string()
+}
+
+/// Formats a ratio like "2.9x".
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Parses a ratio cell back ("2.90x" → 2.9) — used by shape tests.
+pub fn parse_ratio(s: &str) -> f64 {
+    s.trim_end_matches('x').parse().expect("ratio cell")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_markdown() {
+        let mut t = Table::new("t", "Test", &["Name", "Value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "2".into()]);
+        t.note("a note");
+        let ascii = t.render();
+        assert!(ascii.contains("longer-name"));
+        assert!(ascii.contains("note: a note"));
+        let md = t.render_markdown();
+        assert!(md.contains("| Name | Value |"));
+        assert!(md.contains("| a | 1 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn wrong_arity_rows_panic() {
+        let mut t = Table::new("t", "Test", &["A", "B"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn cell_lookup_works() {
+        let mut t = Table::new("t", "Test", &["Name", "Value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        assert_eq!(t.cell("a", "Value"), Some("1"));
+        assert_eq!(t.cell("missing", "Value"), None);
+        assert_eq!(t.cell("a", "Missing"), None);
+    }
+
+    #[test]
+    fn byte_and_ratio_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 30), "3.0 GiB");
+        assert_eq!(fmt_ratio(2.9), "2.90x");
+        assert!((parse_ratio("2.90x") - 2.9).abs() < 1e-9);
+    }
+}

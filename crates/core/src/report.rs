@@ -1,0 +1,219 @@
+//! Execution reports: what the runtime tells you after a run.
+//!
+//! Experiments regenerate the paper's tables from these reports: makespan,
+//! bytes physically moved vs handed over by ownership transfer, per-device
+//! bandwidth and capacity utilization, placement decisions, and the
+//! property audit.
+
+use disagg_dataflow::job::JobId;
+use disagg_dataflow::task::TaskId;
+use disagg_hwsim::ids::{ComputeId, MemDeviceId};
+use disagg_hwsim::time::{SimDuration, SimTime};
+use disagg_region::access::AccessStats;
+use disagg_region::pool::RegionId;
+use disagg_sched::enforce::Violation;
+use disagg_sched::placement::PlacementDecision;
+
+/// Where one task ran and what it did.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// The job.
+    pub job: JobId,
+    /// The task.
+    pub task: TaskId,
+    /// Task name.
+    pub name: String,
+    /// Compute device it ran on.
+    pub compute: ComputeId,
+    /// Actual start time.
+    pub start: SimTime,
+    /// Actual finish time.
+    pub finish: SimTime,
+    /// Access statistics from the task's accessor.
+    pub stats: AccessStats,
+    /// Devices chosen for the task's regions: (kind, region, device).
+    pub placements: Vec<(&'static str, RegionId, MemDeviceId)>,
+}
+
+impl TaskReport {
+    /// Wall-clock (virtual) duration of the task.
+    pub fn duration(&self) -> SimDuration {
+        self.finish - self.start
+    }
+}
+
+/// Per-device usage summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSummary {
+    /// The device.
+    pub dev: MemDeviceId,
+    /// Peak bytes allocated during the run.
+    pub peak_bytes: u64,
+    /// Device capacity.
+    pub capacity: u64,
+    /// Total bytes transferred through the device.
+    pub bytes_transferred: f64,
+}
+
+impl DeviceSummary {
+    /// Peak capacity utilization in `[0, 1]`.
+    pub fn peak_utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.peak_bytes as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// The full result of running a batch of jobs.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Virtual time from submission to last task finish.
+    pub makespan: SimDuration,
+    /// One report per executed task, in completion order.
+    pub tasks: Vec<TaskReport>,
+    /// Bytes physically moved (accesses, copies, migrations).
+    pub bytes_moved: u64,
+    /// Bytes whose movement was avoided by ownership transfer.
+    pub bytes_ownership_transferred: u64,
+    /// Number of pure ownership transfers.
+    pub ownership_transfers: u64,
+    /// Number of physical handover copies.
+    pub handover_copies: u64,
+    /// Every placement decision the engine made.
+    pub placements: Vec<PlacementDecision>,
+    /// Property-audit findings (empty placements-clean run ⇒ all good).
+    pub violations: Vec<Violation>,
+    /// Denied confidential accesses (enforcement events).
+    pub denials: u64,
+    /// Per-device usage.
+    pub devices: Vec<DeviceSummary>,
+    /// Replicas created for persistent outputs: `(primary, copies)`.
+    pub persistent_replicas: Vec<(RegionId, Vec<RegionId>)>,
+}
+
+impl RunReport {
+    /// Reports for one job.
+    pub fn job_tasks(&self, job: JobId) -> impl Iterator<Item = &TaskReport> {
+        self.tasks.iter().filter(move |t| t.job == job)
+    }
+
+    /// The task report by job and name.
+    pub fn task_by_name(&self, job: JobId, name: &str) -> Option<&TaskReport> {
+        self.tasks.iter().find(|t| t.job == job && t.name == name)
+    }
+
+    /// Fraction of handovers that were pure ownership transfers.
+    pub fn transfer_ratio(&self) -> f64 {
+        let total = self.ownership_transfers + self.handover_copies;
+        if total == 0 {
+            0.0
+        } else {
+            self.ownership_transfers as f64 / total as f64
+        }
+    }
+
+    /// Aggregate peak memory utilization across devices with capacity.
+    pub fn aggregate_peak_utilization(&self) -> f64 {
+        let (used, cap) = self
+            .devices
+            .iter()
+            .fold((0u64, 0u64), |(u, c), d| (u + d.peak_bytes, c + d.capacity));
+        if cap == 0 {
+            0.0
+        } else {
+            used as f64 / cap as f64
+        }
+    }
+
+    /// True if every placement honored its declared properties.
+    pub fn placements_clean(&self) -> bool {
+        self.violations
+            .iter()
+            .all(|v| matches!(v, Violation::ConfidentialAccessDenied { .. }))
+    }
+
+    /// Total virtual time tasks spent stalled on synchronous memory.
+    pub fn total_sync_stall(&self) -> SimDuration {
+        self.tasks.iter().map(|t| t.stats.sync_stall).sum()
+    }
+
+    /// Device summary for one device.
+    pub fn device(&self, dev: MemDeviceId) -> Option<&DeviceSummary> {
+        self.devices.iter().find(|d| d.dev == dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(transfers: u64, copies: u64) -> RunReport {
+        RunReport {
+            ownership_transfers: transfers,
+            handover_copies: copies,
+            ..RunReport::default()
+        }
+    }
+
+    #[test]
+    fn transfer_ratio_handles_empty_runs() {
+        assert_eq!(report_with(0, 0).transfer_ratio(), 0.0);
+        assert_eq!(report_with(3, 1).transfer_ratio(), 0.75);
+        assert_eq!(report_with(4, 0).transfer_ratio(), 1.0);
+    }
+
+    #[test]
+    fn device_summary_utilization() {
+        let d = DeviceSummary {
+            dev: MemDeviceId(0),
+            peak_bytes: 50,
+            capacity: 200,
+            bytes_transferred: 0.0,
+        };
+        assert_eq!(d.peak_utilization(), 0.25);
+        let empty = DeviceSummary {
+            dev: MemDeviceId(1),
+            peak_bytes: 0,
+            capacity: 0,
+            bytes_transferred: 0.0,
+        };
+        assert_eq!(empty.peak_utilization(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_utilization_weights_by_capacity() {
+        let mut r = RunReport::default();
+        r.devices.push(DeviceSummary {
+            dev: MemDeviceId(0),
+            peak_bytes: 100,
+            capacity: 100,
+            bytes_transferred: 0.0,
+        });
+        r.devices.push(DeviceSummary {
+            dev: MemDeviceId(1),
+            peak_bytes: 0,
+            capacity: 300,
+            bytes_transferred: 0.0,
+        });
+        assert_eq!(r.aggregate_peak_utilization(), 0.25);
+    }
+
+    #[test]
+    fn clean_report_with_denials_is_still_clean() {
+        let mut r = RunReport::default();
+        assert!(r.placements_clean());
+        r.violations.push(Violation::ConfidentialAccessDenied {
+            region: RegionId(1),
+            owner_job: Some(0),
+            accessor_job: Some(1),
+        });
+        assert!(r.placements_clean());
+        r.violations.push(Violation::Persistence {
+            region: RegionId(2),
+            dev: MemDeviceId(0),
+        });
+        assert!(!r.placements_clean());
+    }
+}

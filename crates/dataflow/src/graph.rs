@@ -1,0 +1,248 @@
+//! DAG utilities for dataflow jobs.
+//!
+//! Connected tasks form a directed acyclic graph (§2.1). This module
+//! provides the structural machinery: adjacency, Kahn topological
+//! ordering (which doubles as the cycle check), level assignment, and a
+//! weighted critical path for the scheduler's bounds.
+
+use crate::task::TaskId;
+
+/// Errors from graph validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a task index that does not exist.
+    UnknownTask(TaskId),
+    /// A self-loop `t → t`.
+    SelfLoop(TaskId),
+    /// The graph contains a cycle (tasks listed are on it or behind it).
+    Cycle(Vec<TaskId>),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownTask(t) => write!(f, "edge references unknown task {t}"),
+            GraphError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            GraphError::Cycle(ts) => write!(f, "cycle involving tasks {ts:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, validated DAG over `n` tasks.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    n: usize,
+    /// Successors per task.
+    succ: Vec<Vec<TaskId>>,
+    /// Predecessors per task.
+    pred: Vec<Vec<TaskId>>,
+    /// A topological order.
+    topo: Vec<TaskId>,
+}
+
+impl Dag {
+    /// Validates edges over `n` tasks and builds the DAG.
+    pub fn new(n: usize, edges: &[(TaskId, TaskId)]) -> Result<Dag, GraphError> {
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a.index() >= n {
+                return Err(GraphError::UnknownTask(a));
+            }
+            if b.index() >= n {
+                return Err(GraphError::UnknownTask(b));
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop(a));
+            }
+            if !succ[a.index()].contains(&b) {
+                succ[a.index()].push(b);
+                pred[b.index()].push(a);
+            }
+        }
+        // Kahn's algorithm: a full ordering exists iff the graph is acyclic.
+        let mut indeg: Vec<usize> = pred.iter().map(Vec::len).collect();
+        let mut queue: Vec<TaskId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| TaskId(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let t = queue[head];
+            head += 1;
+            topo.push(t);
+            for &s in &succ[t.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck: Vec<TaskId> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| TaskId(i as u32))
+                .collect();
+            return Err(GraphError::Cycle(stuck));
+        }
+        Ok(Dag { n, succ, pred, topo })
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Successors of a task.
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        &self.succ[t.index()]
+    }
+
+    /// Predecessors of a task.
+    pub fn predecessors(&self, t: TaskId) -> &[TaskId] {
+        &self.pred[t.index()]
+    }
+
+    /// A topological order (stable across runs).
+    pub fn topo_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> Vec<TaskId> {
+        (0..self.n)
+            .filter(|&i| self.pred[i].is_empty())
+            .map(|i| TaskId(i as u32))
+            .collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        (0..self.n)
+            .filter(|&i| self.succ[i].is_empty())
+            .map(|i| TaskId(i as u32))
+            .collect()
+    }
+
+    /// Level (longest distance from any source) per task.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.n];
+        for &t in &self.topo {
+            for &s in &self.succ[t.index()] {
+                level[s.index()] = level[s.index()].max(level[t.index()] + 1);
+            }
+        }
+        level
+    }
+
+    /// Critical-path length under per-task weights: the maximum weighted
+    /// path from any source to any sink. An empty DAG has weight 0.
+    pub fn critical_path(&self, weight: impl Fn(TaskId) -> f64) -> f64 {
+        let mut best = vec![0.0f64; self.n];
+        let mut max = 0.0f64;
+        for &t in &self.topo {
+            let w = best[t.index()] + weight(t);
+            max = max.max(w);
+            for &s in &self.succ[t.index()] {
+                if w > best[s.index()] {
+                    best[s.index()] = w;
+                }
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    #[test]
+    fn diamond_orders_correctly() {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3.
+        let dag = Dag::new(4, &[(t(0), t(1)), (t(0), t(2)), (t(1), t(3)), (t(2), t(3))]).unwrap();
+        let topo = dag.topo_order();
+        let pos = |x: TaskId| topo.iter().position(|&y| y == x).unwrap();
+        assert!(pos(t(0)) < pos(t(1)));
+        assert!(pos(t(0)) < pos(t(2)));
+        assert!(pos(t(1)) < pos(t(3)));
+        assert!(pos(t(2)) < pos(t(3)));
+        assert_eq!(dag.sources(), vec![t(0)]);
+        assert_eq!(dag.sinks(), vec![t(3)]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let err = Dag::new(3, &[(t(0), t(1)), (t(1), t(2)), (t(2), t(0))]).unwrap_err();
+        assert!(matches!(err, GraphError::Cycle(_)));
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        assert_eq!(
+            Dag::new(2, &[(t(1), t(1))]).unwrap_err(),
+            GraphError::SelfLoop(t(1))
+        );
+    }
+
+    #[test]
+    fn unknown_task_is_rejected() {
+        assert_eq!(
+            Dag::new(2, &[(t(0), t(5))]).unwrap_err(),
+            GraphError::UnknownTask(t(5))
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let dag = Dag::new(2, &[(t(0), t(1)), (t(0), t(1))]).unwrap();
+        assert_eq!(dag.successors(t(0)), &[t(1)]);
+        assert_eq!(dag.predecessors(t(1)), &[t(0)]);
+    }
+
+    #[test]
+    fn disconnected_tasks_are_fine() {
+        let dag = Dag::new(3, &[]).unwrap();
+        assert_eq!(dag.sources().len(), 3);
+        assert_eq!(dag.sinks().len(), 3);
+        assert_eq!(dag.levels(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn levels_reflect_longest_path() {
+        // 0 → 1 → 3 and 0 → 3: task 3 is at level 2 (via 1).
+        let dag = Dag::new(4, &[(t(0), t(1)), (t(1), t(3)), (t(0), t(3)), (t(0), t(2))]).unwrap();
+        assert_eq!(dag.levels(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn critical_path_takes_heaviest_route() {
+        // 0 → 1 → 3 (weights 1+10+1) vs 0 → 2 → 3 (1+2+1).
+        let dag = Dag::new(4, &[(t(0), t(1)), (t(0), t(2)), (t(1), t(3)), (t(2), t(3))]).unwrap();
+        let w = |x: TaskId| match x.0 {
+            1 => 10.0,
+            2 => 2.0,
+            _ => 1.0,
+        };
+        assert_eq!(dag.critical_path(w), 12.0);
+    }
+
+    #[test]
+    fn empty_dag_is_valid() {
+        let dag = Dag::new(0, &[]).unwrap();
+        assert!(dag.is_empty());
+        assert_eq!(dag.critical_path(|_| 1.0), 0.0);
+    }
+}

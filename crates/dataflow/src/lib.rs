@@ -1,0 +1,48 @@
+//! The declarative dataflow programming model.
+//!
+//! Applications launch **jobs** made of **tasks** forming a DAG (§2.1).
+//! Tasks attach declarative properties — compute-device class,
+//! confidentiality, persistence, memory latency (Figure 2c) — and receive
+//! a [`TaskCtx`] at runtime exposing the paper's memory vocabulary:
+//! input, output, private scratch, global state, global scratch. Nothing
+//! in this crate names a physical device; resolving properties to
+//! hardware is the runtime system's job (`disagg-sched`).
+//!
+//! ```
+//! use disagg_dataflow::{JobBuilder, TaskSpec};
+//! use disagg_hwsim::compute::{ComputeKind, WorkClass};
+//!
+//! let mut job = JobBuilder::new("example");
+//! let produce = job.task(
+//!     TaskSpec::new("produce")
+//!         .work(WorkClass::Vector, 1_000)
+//!         .output_bytes(4096)
+//!         .body(|ctx| {
+//!             ctx.write_output(0, &[42u8; 4096])?;
+//!             Ok(())
+//!         }),
+//! );
+//! let consume = job.task(
+//!     TaskSpec::new("consume").on(ComputeKind::Gpu).body(|ctx| {
+//!         let mut buf = [0u8; 4096];
+//!         ctx.read_input(0, &mut buf)?;
+//!         assert_eq!(buf[0], 42);
+//!         Ok(())
+//!     }),
+//! );
+//! job.edge(produce, consume);
+//! let spec = job.build().expect("valid DAG");
+//! assert_eq!(spec.tasks.len(), 2);
+//! ```
+
+pub mod ctx;
+pub mod graph;
+pub mod job;
+pub mod task;
+
+pub use ctx::{Placer, TaskCtx, TaskRegions};
+pub use graph::{Dag, GraphError};
+pub use job::{JobBuilder, JobError, JobId, JobSpec};
+pub use task::{
+    ComputePref, ResolvedProps, TaskBody, TaskError, TaskId, TaskProps, TaskSpec, WorkProfile,
+};

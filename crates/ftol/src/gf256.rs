@@ -1,0 +1,222 @@
+//! Arithmetic over the Galois field GF(2⁸).
+//!
+//! Reed–Solomon coding works over a finite field; we use GF(2⁸) with the
+//! conventional generator polynomial `x⁸ + x⁴ + x³ + x² + 1` (0x11D), the
+//! same field every production erasure-coding library uses. Addition is
+//! XOR; multiplication goes through exp/log tables built once at startup.
+
+use std::sync::OnceLock;
+
+/// The irreducible polynomial defining the field (0x11D).
+const POLY: u32 = 0x11D;
+
+struct Tables {
+    /// `exp[i] = g^i` for generator g = 2, doubled to avoid mod 255.
+    exp: [u8; 512],
+    /// `log[x]` such that `g^log[x] = x`; `log[0]` is unused.
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u32 = 1;
+        for (i, e) in exp.iter_mut().take(255).enumerate() {
+            *e = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        let (head, tail) = exp.split_at_mut(255);
+        tail[..255].copy_from_slice(head);
+        tail[255..].copy_from_slice(&head[..2]);
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Field division.
+///
+/// # Panics
+///
+/// Panics on division by zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[(t.log[a as usize] as usize + 255 - t.log[b as usize] as usize) % 255 + 255]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    div(1, a)
+}
+
+/// Exponentiation `base^exp` in the field.
+pub fn pow(base: u8, exp: u32) -> u8 {
+    if exp == 0 {
+        return 1;
+    }
+    if base == 0 {
+        return 0;
+    }
+    let t = tables();
+    let l = t.log[base as usize] as u64 * exp as u64 % 255;
+    t.exp[l as usize]
+}
+
+/// Multiply-accumulate a slice: `dst[i] ^= c * src[i]`. The hot loop of
+/// Reed–Solomon encoding.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[lc + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        assert_eq!(add(0x53, 0xCA), 0x99);
+        for a in 0..=255u8 {
+            assert_eq!(add(a, a), 0);
+            assert_eq!(add(a, 0), a);
+        }
+    }
+
+    #[test]
+    fn multiplication_has_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        // Spot-check a grid rather than the full 256^3 cube.
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(13) {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in (0..=255u8).step_by(29) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_holds() {
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                for c in (0..=255u8).step_by(19) {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for a in 1..=255u8 {
+            let i = inv(a);
+            assert_eq!(mul(a, i), 1, "inv({a}) = {i} fails");
+        }
+    }
+
+    #[test]
+    fn division_round_trips() {
+        for a in 1..=255u8 {
+            for b in (1..=255u8).step_by(5) {
+                assert_eq!(mul(div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        div(5, 0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for base in [0u8, 1, 2, 3, 0x1D, 0xFF] {
+            let mut acc = 1u8;
+            for e in 0..20u32 {
+                assert_eq!(pow(base, e), acc, "base {base} exp {e}");
+                acc = mul(acc, base);
+            }
+        }
+        assert_eq!(pow(0, 0), 1, "0^0 = 1 by convention");
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 2 generates the multiplicative group: 2^255 = 1 and no smaller
+        // power (dividing 255) hits 1.
+        assert_eq!(pow(2, 255), 1);
+        for d in [3u32, 5, 15, 17, 51, 85] {
+            assert_ne!(pow(2, d), 1, "order divides {d}?");
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_path() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x80, 0xFF] {
+            let mut fast = vec![0xAAu8; 256];
+            let mut slow = vec![0xAAu8; 256];
+            mul_acc(&mut fast, &src, c);
+            for (d, s) in slow.iter_mut().zip(&src) {
+                *d = add(*d, mul(c, *s));
+            }
+            assert_eq!(fast, slow, "c = {c}");
+        }
+    }
+}

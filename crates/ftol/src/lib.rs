@@ -1,0 +1,106 @@
+//! Fault tolerance for disaggregated far memory.
+//!
+//! Challenge 8(3) of the paper: node faults, network errors, and memory
+//! corruption are routine at rack scale, and the runtime "must implement
+//! suitable mechanisms that guarantee fault tolerance and are compute-
+//! and storage-efficient". This crate provides both families the paper
+//! cites and experiment E12 compares:
+//!
+//! - [`replicate`]: N-way replication — simple, fast recovery, N× storage.
+//! - [`stripe`] + [`reedsolomon`] + [`gf256`]: Carbink-style erasure-coded
+//!   spans — `(k+m)/k` storage, degraded reads and reconstruction cost.
+
+pub mod gf256;
+pub mod heap;
+pub mod reedsolomon;
+pub mod replicate;
+pub mod stripe;
+
+pub use heap::{ObjId, StripedHeap};
+pub use reedsolomon::{ReedSolomon, RsError};
+pub use replicate::ReplicatedRegion;
+pub use stripe::{ParityEngine, StripedRegion};
+
+use disagg_hwsim::ids::MemDeviceId;
+use disagg_region::region::RegionError;
+
+/// Errors from the fault-tolerance layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtolError {
+    /// Fewer devices supplied than the scheme needs.
+    NotEnoughDevices {
+        /// Devices supplied.
+        have: usize,
+        /// Devices required.
+        need: usize,
+    },
+    /// Two shards/replicas would share a failure domain (same node).
+    SharedFailureDomain(MemDeviceId, MemDeviceId),
+    /// Every replica is down.
+    AllReplicasDown,
+    /// Too few spans survive to reconstruct.
+    Unrecoverable {
+        /// Live spans.
+        alive: usize,
+        /// Spans needed.
+        needed: usize,
+    },
+    /// The index given to recover() is still alive.
+    ReplicaNotLost(usize),
+    /// Unknown or deleted heap object.
+    UnknownObject(u64),
+    /// No route between the given devices.
+    Unreachable(MemDeviceId, MemDeviceId),
+    /// Access outside the logical region.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Logical size.
+        size: u64,
+    },
+    /// Underlying region error.
+    Region(RegionError),
+    /// Underlying Reed-Solomon error.
+    Rs(RsError),
+}
+
+impl From<RegionError> for FtolError {
+    fn from(e: RegionError) -> Self {
+        FtolError::Region(e)
+    }
+}
+
+impl From<RsError> for FtolError {
+    fn from(e: RsError) -> Self {
+        FtolError::Rs(e)
+    }
+}
+
+impl std::fmt::Display for FtolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtolError::NotEnoughDevices { have, need } => {
+                write!(f, "need {need} devices, have {have}")
+            }
+            FtolError::SharedFailureDomain(a, b) => {
+                write!(f, "devices {a} and {b} share a failure domain")
+            }
+            FtolError::AllReplicasDown => write!(f, "all replicas down"),
+            FtolError::Unrecoverable { alive, needed } => {
+                write!(f, "unrecoverable: {alive} spans alive, {needed} needed")
+            }
+            FtolError::ReplicaNotLost(i) => write!(f, "replica {i} is still alive"),
+            FtolError::UnknownObject(i) => write!(f, "unknown or deleted object o{i}"),
+            FtolError::Unreachable(a, b) => write!(f, "no route from {a} to {b}"),
+            FtolError::OutOfBounds { offset, len, size } => {
+                write!(f, "access [{offset}, {offset}+{len}) outside {size}-byte region")
+            }
+            FtolError::Region(e) => write!(f, "region error: {e}"),
+            FtolError::Rs(e) => write!(f, "erasure coding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtolError {}

@@ -1,0 +1,378 @@
+//! N-way replication for far memory.
+//!
+//! The straightforward half of the paper's fault-tolerance discussion
+//! (Challenge 8(3)): keep full copies of a region on devices in distinct
+//! failure domains. Writes pay N× write amplification; reads go to the
+//! nearest live replica; losing a replica triggers re-replication from a
+//! survivor. The erasure-coded alternative lives in [`crate::stripe`];
+//! experiment E12 compares the two, reproducing the Carbink trade-off.
+
+use disagg_hwsim::contention::{BandwidthLedger, ResourceKey};
+use disagg_hwsim::fault::FaultInjector;
+use disagg_hwsim::ids::{ComputeId, MemDeviceId};
+use disagg_hwsim::time::{SimDuration, SimTime};
+use disagg_hwsim::topology::Topology;
+use disagg_region::pool::RegionId;
+use disagg_region::props::PropertySet;
+use disagg_region::region::{OwnerId, RegionManager};
+use disagg_region::typed::RegionType;
+
+use crate::FtolError;
+
+/// A region kept as N full replicas in distinct failure domains.
+#[derive(Debug, Clone)]
+pub struct ReplicatedRegion {
+    /// The replica regions (all the same size).
+    pub replicas: Vec<RegionId>,
+    /// The devices backing each replica.
+    pub devs: Vec<MemDeviceId>,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// The owner all replicas belong to.
+    pub owner: OwnerId,
+    /// Total bytes written including amplification (stats).
+    pub bytes_written: u64,
+}
+
+impl ReplicatedRegion {
+    /// Creates an N-way replicated region across the given devices, which
+    /// must live on pairwise distinct nodes.
+    pub fn create(
+        mgr: &mut RegionManager,
+        topo: &Topology,
+        devices: &[MemDeviceId],
+        size: u64,
+        owner: OwnerId,
+        now: SimTime,
+    ) -> Result<ReplicatedRegion, FtolError> {
+        if devices.len() < 2 {
+            return Err(FtolError::NotEnoughDevices {
+                have: devices.len(),
+                need: 2,
+            });
+        }
+        for (i, &a) in devices.iter().enumerate() {
+            for &b in &devices[i + 1..] {
+                if topo.node_of_mem(a) == topo.node_of_mem(b) {
+                    return Err(FtolError::SharedFailureDomain(a, b));
+                }
+            }
+        }
+        let mut replicas = Vec::with_capacity(devices.len());
+        for &dev in devices {
+            let id = mgr.alloc(
+                dev,
+                size,
+                RegionType::GlobalScratch,
+                PropertySet::new().with_mode(disagg_region::props::AccessMode::Async),
+                owner,
+                now,
+            )?;
+            replicas.push(id);
+        }
+        Ok(ReplicatedRegion {
+            replicas,
+            devs: devices.to_vec(),
+            size,
+            owner,
+            bytes_written: 0,
+        })
+    }
+
+    /// Storage overhead factor (N for N replicas).
+    pub fn overhead(&self) -> f64 {
+        self.replicas.len() as f64
+    }
+
+    /// Indices of replicas whose device and node are alive at `t`.
+    pub fn alive(&self, topo: &Topology, faults: &FaultInjector, t: SimTime) -> Vec<usize> {
+        (0..self.devs.len())
+            .filter(|&i| {
+                let dev = self.devs[i];
+                !faults.device_failed(dev, t) && !faults.node_down(topo.node_of_mem(dev), t)
+            })
+            .collect()
+    }
+
+    /// Writes to *all* live replicas (replication writes are mirrored).
+    /// The write completes when the slowest replica acknowledges; total
+    /// bytes written are amplified N×.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write(
+        &mut self,
+        mgr: &mut RegionManager,
+        topo: &Topology,
+        ledger: &mut BandwidthLedger,
+        faults: &FaultInjector,
+        offset: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<SimDuration, FtolError> {
+        let alive = self.alive(topo, faults, now);
+        if alive.is_empty() {
+            return Err(FtolError::AllReplicasDown);
+        }
+        let mut slowest = SimDuration::ZERO;
+        for &i in &alive {
+            mgr.write(self.replicas[i], self.owner, offset, data)?;
+            let dev = self.devs[i];
+            let model = topo.mem(dev);
+            let eff = model.effective_bytes(data.len() as u64) as f64;
+            let start = now + SimDuration::from_nanos_f64(model.write_lat_ns);
+            let fin = ledger.reserve(ResourceKey::Mem(dev), start, eff, model.write_bw_bpns);
+            slowest = slowest.max(fin - now);
+            self.bytes_written += data.len() as u64;
+        }
+        Ok(slowest)
+    }
+
+    /// Reads from the live replica nearest to `compute`.
+    /// Returns the duration and the replica index used.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read(
+        &self,
+        mgr: &RegionManager,
+        topo: &Topology,
+        ledger: &mut BandwidthLedger,
+        faults: &FaultInjector,
+        compute: ComputeId,
+        offset: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<(SimDuration, usize), FtolError> {
+        let alive = self.alive(topo, faults, now);
+        // Nearest = lowest path latency from the reader.
+        let best = alive
+            .iter()
+            .copied()
+            .filter_map(|i| topo.path(compute, self.devs[i]).map(|p| (i, p.latency_ns)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .ok_or(FtolError::AllReplicasDown)?;
+        mgr.read(self.replicas[best], self.owner, offset, buf)?;
+        let dev = self.devs[best];
+        let model = topo.mem(dev);
+        let path = topo.path(compute, dev).expect("filtered to reachable");
+        let eff = model.effective_bytes(buf.len() as u64) as f64;
+        let start =
+            now + SimDuration::from_nanos_f64(model.read_lat_ns + path.latency_ns);
+        let fin = ledger.reserve(
+            ResourceKey::Mem(dev),
+            start,
+            eff,
+            model.read_bw_bpns.min(path.bandwidth_bpns),
+        );
+        Ok((fin - now, best))
+    }
+
+    /// Re-creates a lost replica on `spare` by copying from the first live
+    /// survivor. Returns the recovery duration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover(
+        &mut self,
+        mgr: &mut RegionManager,
+        topo: &Topology,
+        ledger: &mut BandwidthLedger,
+        faults: &FaultInjector,
+        lost: usize,
+        spare: MemDeviceId,
+        now: SimTime,
+    ) -> Result<SimDuration, FtolError> {
+        let alive = self.alive(topo, faults, now);
+        let src = *alive.first().ok_or(FtolError::AllReplicasDown)?;
+        if alive.contains(&lost) {
+            return Err(FtolError::ReplicaNotLost(lost));
+        }
+        // Allocate the new replica and copy the survivor's bytes.
+        let new = mgr.alloc(
+            spare,
+            self.size,
+            RegionType::GlobalScratch,
+            PropertySet::new().with_mode(disagg_region::props::AccessMode::Async),
+            self.owner,
+            now,
+        )?;
+        let data = mgr.bytes(self.replicas[src], self.owner)?.to_vec();
+        mgr.write(new, self.owner, 0, &data)?;
+        // The old replica's backing is gone with its device; drop our
+        // handle without double-freeing if the pool still tracks it.
+        let _ = mgr.release(self.replicas[lost], self.owner);
+        self.replicas[lost] = new;
+        let old_dev = self.devs[lost];
+        self.devs[lost] = spare;
+        let _ = old_dev;
+
+        let base = topo
+            .transfer_cost(self.devs[src], spare, self.size)
+            .ok_or(FtolError::Unreachable(self.devs[src], spare))?;
+        let f1 = ledger.reserve(
+            ResourceKey::Mem(self.devs[src]),
+            now,
+            self.size as f64,
+            topo.mem(self.devs[src]).read_bw_bpns,
+        );
+        let f2 = ledger.reserve(
+            ResourceKey::Mem(spare),
+            now,
+            self.size as f64,
+            topo.mem(spare).write_bw_bpns,
+        );
+        self.bytes_written += self.size;
+        Ok(base.max(f1.max(f2) - now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disagg_hwsim::fault::FaultKind;
+    use disagg_hwsim::presets::disaggregated_rack;
+
+    const OWNER: OwnerId = OwnerId::App;
+
+    fn fixture() -> (
+        Topology,
+        RegionManager,
+        BandwidthLedger,
+        Vec<MemDeviceId>,
+        Vec<disagg_hwsim::ids::ComputeId>,
+    ) {
+        let (topo, rack) = disaggregated_rack(2, 32, 3, 64);
+        let mgr = RegionManager::new(&topo);
+        (
+            topo,
+            mgr,
+            BandwidthLedger::default_buckets(),
+            rack.pool.clone(),
+            rack.cpus.clone(),
+        )
+    }
+
+    #[test]
+    fn create_requires_distinct_failure_domains() {
+        let (topo, mut mgr, _, pool, _) = fixture();
+        let err =
+            ReplicatedRegion::create(&mut mgr, &topo, &[pool[0], pool[0]], 1024, OWNER, SimTime::ZERO)
+                .unwrap_err();
+        assert!(matches!(err, FtolError::SharedFailureDomain(_, _)));
+        let err = ReplicatedRegion::create(&mut mgr, &topo, &[pool[0]], 1024, OWNER, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FtolError::NotEnoughDevices { .. }));
+        assert!(
+            ReplicatedRegion::create(&mut mgr, &topo, &[pool[0], pool[1]], 1024, OWNER, SimTime::ZERO)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn writes_mirror_to_all_replicas() {
+        let (topo, mut mgr, mut ledger, pool, _) = fixture();
+        let faults = FaultInjector::none();
+        let mut rr =
+            ReplicatedRegion::create(&mut mgr, &topo, &[pool[0], pool[1]], 1024, OWNER, SimTime::ZERO)
+                .unwrap();
+        rr.write(&mut mgr, &topo, &mut ledger, &faults, 0, &[7u8; 512], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(rr.bytes_written, 1024, "2x write amplification");
+        for &r in &rr.replicas {
+            assert_eq!(&mgr.bytes(r, OWNER).unwrap()[..512], &[7u8; 512]);
+        }
+        assert_eq!(rr.overhead(), 2.0);
+    }
+
+    #[test]
+    fn read_prefers_the_nearest_replica_and_survives_crashes() {
+        let (topo, mut mgr, mut ledger, pool, cpus) = fixture();
+        let mut rr =
+            ReplicatedRegion::create(&mut mgr, &topo, &[pool[0], pool[1]], 4096, OWNER, SimTime::ZERO)
+                .unwrap();
+        let faults = FaultInjector::none();
+        rr.write(&mut mgr, &topo, &mut ledger, &faults, 0, &[9u8; 4096], SimTime::ZERO)
+            .unwrap();
+
+        let mut buf = [0u8; 64];
+        let (_, used) = rr
+            .read(&mgr, &topo, &mut ledger, &faults, cpus[0], 0, &mut buf, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(buf, [9u8; 64]);
+
+        // Crash the node of the replica that served the read: the other
+        // replica takes over.
+        let crashed_node = topo.node_of_mem(rr.devs[used]);
+        let faults = FaultInjector::with_events(vec![disagg_hwsim::fault::FaultEvent {
+            at: SimTime(10),
+            kind: FaultKind::NodeCrash(crashed_node),
+        }]);
+        let (_, used2) = rr
+            .read(&mgr, &topo, &mut ledger, &faults, cpus[0], 0, &mut buf, SimTime(100))
+            .unwrap();
+        assert_ne!(used, used2);
+        assert_eq!(buf, [9u8; 64]);
+    }
+
+    #[test]
+    fn all_replicas_down_is_an_error() {
+        let (topo, mut mgr, mut ledger, pool, cpus) = fixture();
+        let mut rr =
+            ReplicatedRegion::create(&mut mgr, &topo, &[pool[0], pool[1]], 1024, OWNER, SimTime::ZERO)
+                .unwrap();
+        let faults = FaultInjector::with_events(
+            rr.devs
+                .iter()
+                .map(|&d| disagg_hwsim::fault::FaultEvent {
+                    at: SimTime(0),
+                    kind: FaultKind::DeviceFail(d),
+                })
+                .collect(),
+        );
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            rr.read(&mgr, &topo, &mut ledger, &faults, cpus[0], 0, &mut buf, SimTime(1)),
+            Err(FtolError::AllReplicasDown)
+        ));
+        assert!(matches!(
+            rr.write(&mut mgr, &topo, &mut ledger, &faults, 0, &[1], SimTime(1)),
+            Err(FtolError::AllReplicasDown)
+        ));
+    }
+
+    #[test]
+    fn recovery_restores_redundancy() {
+        let (topo, mut mgr, mut ledger, pool, cpus) = fixture();
+        let mut rr =
+            ReplicatedRegion::create(&mut mgr, &topo, &[pool[0], pool[1]], 8192, OWNER, SimTime::ZERO)
+                .unwrap();
+        let none = FaultInjector::none();
+        rr.write(&mut mgr, &topo, &mut ledger, &none, 0, &[5u8; 8192], SimTime::ZERO)
+            .unwrap();
+
+        // Replica 0's device fails.
+        let faults = FaultInjector::with_events(vec![disagg_hwsim::fault::FaultEvent {
+            at: SimTime(10),
+            kind: FaultKind::DeviceFail(rr.devs[0]),
+        }]);
+        let took = rr
+            .recover(&mut mgr, &topo, &mut ledger, &faults, 0, pool[2], SimTime(100))
+            .unwrap();
+        assert!(took > SimDuration::ZERO);
+        assert_eq!(rr.devs[0], pool[2]);
+        // Contents intact on the new replica.
+        assert_eq!(&mgr.bytes(rr.replicas[0], OWNER).unwrap()[..16], &[5u8; 16]);
+        // Redundancy is back: both replicas alive under the same fault plan.
+        assert_eq!(rr.alive(&topo, &faults, SimTime(200)).len(), 2);
+        let _ = cpus;
+    }
+
+    #[test]
+    fn recovering_a_live_replica_is_rejected() {
+        let (topo, mut mgr, mut ledger, pool, _) = fixture();
+        let mut rr =
+            ReplicatedRegion::create(&mut mgr, &topo, &[pool[0], pool[1]], 1024, OWNER, SimTime::ZERO)
+                .unwrap();
+        let faults = FaultInjector::none();
+        assert!(matches!(
+            rr.recover(&mut mgr, &topo, &mut ledger, &faults, 0, pool[2], SimTime(1)),
+            Err(FtolError::ReplicaNotLost(0))
+        ));
+    }
+}

@@ -1,0 +1,242 @@
+//! Deterministic fault injection.
+//!
+//! The paper's Challenge 8(3) asks how the runtime mitigates "network
+//! errors, corrupted memory, and planned and unplanned node faults". The
+//! [`FaultInjector`] holds a pre-planned, time-ordered schedule of fault
+//! events; the runtime and the fault-tolerance layer query it at simulated
+//! times. Because the schedule is data, every failure experiment is
+//! reproducible.
+
+use crate::ids::{LinkId, MemDeviceId, NodeId};
+use crate::time::SimTime;
+
+/// What kind of fault occurs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A whole node (and all devices on it) stops responding.
+    NodeCrash(NodeId),
+    /// A previously crashed node comes back (contents of volatile devices
+    /// are lost; persistent devices retain data).
+    NodeRecover(NodeId),
+    /// A single memory device fails permanently.
+    DeviceFail(MemDeviceId),
+    /// A link goes down permanently.
+    LinkDown(LinkId),
+    /// A range of bytes on a device is silently corrupted.
+    Corrupt {
+        /// The affected device.
+        dev: MemDeviceId,
+        /// First corrupted byte offset within the device.
+        offset: u64,
+        /// Number of corrupted bytes.
+        len: u64,
+    },
+}
+
+/// A fault scheduled at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered fault schedule with point-in-time liveness queries.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// An injector with no faults.
+    pub fn none() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Builds an injector from a list of events (sorted internally).
+    pub fn with_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultInjector { events }
+    }
+
+    /// Schedules one more event.
+    pub fn schedule(&mut self, at: SimTime, kind: FaultKind) {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, kind });
+    }
+
+    /// All events, time-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events in the half-open window `[from, to)`.
+    pub fn events_between(&self, from: SimTime, to: SimTime) -> &[FaultEvent] {
+        let lo = self.events.partition_point(|e| e.at < from);
+        let hi = self.events.partition_point(|e| e.at < to);
+        &self.events[lo..hi]
+    }
+
+    /// True if `node` is down at time `t` (crashed without a later
+    /// recovery at or before `t`).
+    pub fn node_down(&self, node: NodeId, t: SimTime) -> bool {
+        let mut down = false;
+        for e in &self.events {
+            if e.at > t {
+                break;
+            }
+            match e.kind {
+                FaultKind::NodeCrash(n) if n == node => down = true,
+                FaultKind::NodeRecover(n) if n == node => down = false,
+                _ => {}
+            }
+        }
+        down
+    }
+
+    /// True if `dev` has failed at or before `t`.
+    pub fn device_failed(&self, dev: MemDeviceId, t: SimTime) -> bool {
+        self.events
+            .iter()
+            .take_while(|e| e.at <= t)
+            .any(|e| matches!(e.kind, FaultKind::DeviceFail(d) if d == dev))
+    }
+
+    /// True if `link` is down at or before `t`.
+    pub fn link_down(&self, link: LinkId, t: SimTime) -> bool {
+        self.events
+            .iter()
+            .take_while(|e| e.at <= t)
+            .any(|e| matches!(e.kind, FaultKind::LinkDown(l) if l == link))
+    }
+
+    /// Returns the corrupted byte ranges on `dev` visible at time `t`.
+    pub fn corrupted_ranges(&self, dev: MemDeviceId, t: SimTime) -> Vec<(u64, u64)> {
+        self.events
+            .iter()
+            .take_while(|e| e.at <= t)
+            .filter_map(|e| match e.kind {
+                FaultKind::Corrupt { dev: d, offset, len } if d == dev => Some((offset, len)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The time of the first fault affecting the given node, if any.
+    pub fn first_node_crash(&self, node: NodeId) -> Option<SimTime> {
+        self.events.iter().find_map(|e| match e.kind {
+            FaultKind::NodeCrash(n) if n == node => Some(e.at),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_means_everything_up() {
+        let inj = FaultInjector::none();
+        assert!(!inj.node_down(NodeId(0), SimTime(1_000)));
+        assert!(!inj.device_failed(MemDeviceId(0), SimTime(1_000)));
+        assert!(!inj.link_down(LinkId(0), SimTime(1_000)));
+    }
+
+    #[test]
+    fn crash_takes_effect_at_its_time() {
+        let inj = FaultInjector::with_events(vec![FaultEvent {
+            at: SimTime(500),
+            kind: FaultKind::NodeCrash(NodeId(1)),
+        }]);
+        assert!(!inj.node_down(NodeId(1), SimTime(499)));
+        assert!(inj.node_down(NodeId(1), SimTime(500)));
+        assert!(inj.node_down(NodeId(1), SimTime(10_000)));
+        assert!(!inj.node_down(NodeId(0), SimTime(10_000)));
+    }
+
+    #[test]
+    fn recovery_clears_a_crash() {
+        let inj = FaultInjector::with_events(vec![
+            FaultEvent {
+                at: SimTime(500),
+                kind: FaultKind::NodeCrash(NodeId(1)),
+            },
+            FaultEvent {
+                at: SimTime(900),
+                kind: FaultKind::NodeRecover(NodeId(1)),
+            },
+        ]);
+        assert!(inj.node_down(NodeId(1), SimTime(700)));
+        assert!(!inj.node_down(NodeId(1), SimTime(900)));
+    }
+
+    #[test]
+    fn events_are_sorted_regardless_of_insertion_order() {
+        let mut inj = FaultInjector::none();
+        inj.schedule(SimTime(900), FaultKind::DeviceFail(MemDeviceId(2)));
+        inj.schedule(SimTime(100), FaultKind::LinkDown(LinkId(0)));
+        inj.schedule(SimTime(500), FaultKind::NodeCrash(NodeId(0)));
+        let times: Vec<u64> = inj.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, vec![100, 500, 900]);
+    }
+
+    #[test]
+    fn events_between_is_half_open() {
+        let inj = FaultInjector::with_events(vec![
+            FaultEvent {
+                at: SimTime(100),
+                kind: FaultKind::LinkDown(LinkId(0)),
+            },
+            FaultEvent {
+                at: SimTime(200),
+                kind: FaultKind::LinkDown(LinkId(1)),
+            },
+        ]);
+        assert_eq!(inj.events_between(SimTime(100), SimTime(200)).len(), 1);
+        assert_eq!(inj.events_between(SimTime(0), SimTime(300)).len(), 2);
+        assert_eq!(inj.events_between(SimTime(201), SimTime(300)).len(), 0);
+    }
+
+    #[test]
+    fn corruption_ranges_accumulate() {
+        let inj = FaultInjector::with_events(vec![
+            FaultEvent {
+                at: SimTime(10),
+                kind: FaultKind::Corrupt {
+                    dev: MemDeviceId(0),
+                    offset: 0,
+                    len: 64,
+                },
+            },
+            FaultEvent {
+                at: SimTime(20),
+                kind: FaultKind::Corrupt {
+                    dev: MemDeviceId(0),
+                    offset: 128,
+                    len: 64,
+                },
+            },
+        ]);
+        assert_eq!(inj.corrupted_ranges(MemDeviceId(0), SimTime(15)).len(), 1);
+        assert_eq!(inj.corrupted_ranges(MemDeviceId(0), SimTime(25)).len(), 2);
+        assert!(inj.corrupted_ranges(MemDeviceId(1), SimTime(25)).is_empty());
+    }
+
+    #[test]
+    fn first_node_crash_reports_earliest() {
+        let inj = FaultInjector::with_events(vec![
+            FaultEvent {
+                at: SimTime(700),
+                kind: FaultKind::NodeCrash(NodeId(3)),
+            },
+            FaultEvent {
+                at: SimTime(300),
+                kind: FaultKind::NodeCrash(NodeId(3)),
+            },
+        ]);
+        assert_eq!(inj.first_node_crash(NodeId(3)), Some(SimTime(300)));
+        assert_eq!(inj.first_node_crash(NodeId(4)), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Strongly typed identifiers for simulated hardware entities.
+//!
+//! Raw `u32` indices are easy to mix up in a system that juggles memory
+//! devices, compute devices, nodes, and links at the same time. Each entity
+//! class gets its own newtype so the compiler catches cross-class confusion.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index for use as a `Vec` subscript.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`; entity tables in the
+            /// simulator are always far smaller than that.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("entity index exceeds u32"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a memory device (one row instance of Table 1) in a topology.
+    MemDeviceId,
+    "mem"
+);
+id_type!(
+    /// Identifies a compute device (CPU, GPU, ...) in a topology.
+    ComputeId,
+    "cpu"
+);
+id_type!(
+    /// Identifies a physical node (server / memory blade) grouping devices.
+    NodeId,
+    "node"
+);
+id_type!(
+    /// Identifies an interconnect link in the topology graph.
+    LinkId,
+    "link"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_indices() {
+        let id = MemDeviceId::from_index(7);
+        assert_eq!(id, MemDeviceId(7));
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(MemDeviceId(3).to_string(), "mem3");
+        assert_eq!(ComputeId(0).to_string(), "cpu0");
+        assert_eq!(NodeId(1).to_string(), "node1");
+        assert_eq!(LinkId(9).to_string(), "link9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(MemDeviceId(1) < MemDeviceId(2));
+        assert!(NodeId(0) < NodeId(10));
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_unify() {
+        // Compile-time property: this test documents that MemDeviceId and
+        // ComputeId are distinct types; equality across them does not exist.
+        let m = MemDeviceId(1);
+        let c = ComputeId(1);
+        assert_eq!(m.index(), c.index());
+    }
+}

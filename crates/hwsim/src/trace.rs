@@ -1,0 +1,391 @@
+//! Structured event tracing.
+//!
+//! The benchmark harness regenerates the paper's tables from what actually
+//! happened during a run: which devices served which regions, how many
+//! bytes moved physically versus how many handovers were pure ownership
+//! transfers, when tasks started and finished. The [`Trace`] collects those
+//! events. Job/task identifiers are plain integers here because the
+//! dataflow layer sits above this crate.
+
+use crate::device::AccessOp;
+use crate::ids::{ComputeId, MemDeviceId};
+use crate::time::{SimDuration, SimTime};
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A region was allocated on a device.
+    Alloc {
+        /// Region identifier (assigned by the memory pool).
+        region: u64,
+        /// Backing device.
+        dev: MemDeviceId,
+        /// Region size in bytes.
+        bytes: u64,
+        /// When.
+        at: SimTime,
+    },
+    /// A region was freed.
+    Free {
+        /// Region identifier.
+        region: u64,
+        /// Backing device.
+        dev: MemDeviceId,
+        /// Region size in bytes.
+        bytes: u64,
+        /// When.
+        at: SimTime,
+    },
+    /// A memory access completed.
+    Access {
+        /// The accessed region.
+        region: u64,
+        /// Backing device.
+        dev: MemDeviceId,
+        /// Bytes logically accessed.
+        bytes: u64,
+        /// Read or write.
+        op: AccessOp,
+        /// When the access was issued.
+        at: SimTime,
+        /// How long it took (after contention).
+        took: SimDuration,
+    },
+    /// A region migrated between devices (physical copy).
+    Migrate {
+        /// Region identifier.
+        region: u64,
+        /// Source device.
+        from: MemDeviceId,
+        /// Destination device.
+        to: MemDeviceId,
+        /// Bytes copied.
+        bytes: u64,
+        /// When.
+        at: SimTime,
+        /// How long the copy took.
+        took: SimDuration,
+    },
+    /// A region's ownership moved between tasks without a physical copy.
+    OwnershipTransfer {
+        /// Region identifier.
+        region: u64,
+        /// Handing-over task (job-local index).
+        from_task: u64,
+        /// Receiving task (job-local index).
+        to_task: u64,
+        /// Region size (bytes that did *not* need to move).
+        bytes: u64,
+        /// When.
+        at: SimTime,
+    },
+    /// A task began executing.
+    TaskStart {
+        /// Job identifier.
+        job: u64,
+        /// Task index within the job.
+        task: u64,
+        /// Where it runs.
+        on: ComputeId,
+        /// When.
+        at: SimTime,
+    },
+    /// A task finished.
+    TaskFinish {
+        /// Job identifier.
+        job: u64,
+        /// Task index within the job.
+        task: u64,
+        /// Where it ran.
+        on: ComputeId,
+        /// When.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The timestamp of the event.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Alloc { at, .. }
+            | TraceEvent::Free { at, .. }
+            | TraceEvent::Access { at, .. }
+            | TraceEvent::Migrate { at, .. }
+            | TraceEvent::OwnershipTransfer { at, .. }
+            | TraceEvent::TaskStart { at, .. }
+            | TraceEvent::TaskFinish { at, .. } => at,
+        }
+    }
+}
+
+/// An append-only event log with aggregate queries.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records events.
+    pub fn enabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A trace that drops everything (zero overhead for large runs).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total bytes physically moved (accesses + migrations).
+    pub fn bytes_moved(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match *e {
+                TraceEvent::Access { bytes, .. } | TraceEvent::Migrate { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes whose movement was *avoided* by ownership transfer.
+    pub fn bytes_transferred_by_ownership(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match *e {
+                TraceEvent::OwnershipTransfer { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// Bytes accessed per device, as `(device, bytes)` pairs sorted by id.
+    pub fn bytes_per_device(&self) -> Vec<(MemDeviceId, u64)> {
+        let mut acc: std::collections::BTreeMap<MemDeviceId, u64> = Default::default();
+        for e in &self.events {
+            match *e {
+                TraceEvent::Access { dev, bytes, .. } => *acc.entry(dev).or_default() += bytes,
+                TraceEvent::Migrate { from, to, bytes, .. } => {
+                    *acc.entry(from).or_default() += bytes;
+                    *acc.entry(to).or_default() += bytes;
+                }
+                _ => {}
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    /// Clears all events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders the trace as CSV (`kind,at_ns,detail...`) for offline
+    /// debugging — the paper's Challenge 8(1) asks how to debug across
+    /// abstraction layers; the answer starts with being able to get the
+    /// events out.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,at_ns,took_ns,region,dev_from,dev_to,bytes,job,task,op\n");
+        for e in &self.events {
+            let line = match *e {
+                TraceEvent::Alloc { region, dev, bytes, at } => {
+                    format!("alloc,{},,{region},{},,{bytes},,,", at.as_nanos(), dev.0)
+                }
+                TraceEvent::Free { region, dev, bytes, at } => {
+                    format!("free,{},,{region},{},,{bytes},,,", at.as_nanos(), dev.0)
+                }
+                TraceEvent::Access { region, dev, bytes, op, at, took } => {
+                    let opn = match op {
+                        AccessOp::Read => "read",
+                        AccessOp::Write => "write",
+                    };
+                    format!(
+                        "access,{},{},{region},{},,{bytes},,,{opn}",
+                        at.as_nanos(),
+                        took.as_nanos(),
+                        dev.0
+                    )
+                }
+                TraceEvent::Migrate { region, from, to, bytes, at, took } => {
+                    format!(
+                        "migrate,{},{},{region},{},{},{bytes},,,",
+                        at.as_nanos(),
+                        took.as_nanos(),
+                        from.0,
+                        to.0
+                    )
+                }
+                TraceEvent::OwnershipTransfer { region, from_task, to_task, bytes, at } => {
+                    format!(
+                        "transfer,{},,{region},,,{bytes},,{from_task}->{to_task},",
+                        at.as_nanos()
+                    )
+                }
+                TraceEvent::TaskStart { job, task, on, at } => {
+                    format!("task_start,{},,,{},,,{job},{task},", at.as_nanos(), on.0)
+                }
+                TraceEvent::TaskFinish { job, task, on, at } => {
+                    format!("task_finish,{},,,{},,,{job},{task},", at.as_nanos(), on.0)
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(dev: u32, bytes: u64) -> TraceEvent {
+        TraceEvent::Access {
+            region: 0,
+            dev: MemDeviceId(dev),
+            bytes,
+            op: AccessOp::Read,
+            at: SimTime(0),
+            took: SimDuration(10),
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(access(0, 64));
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.push(access(0, 64));
+        t.push(access(1, 128));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.bytes_moved(), 192);
+    }
+
+    #[test]
+    fn ownership_transfers_tracked_separately_from_physical_moves() {
+        let mut t = Trace::enabled();
+        t.push(access(0, 100));
+        t.push(TraceEvent::OwnershipTransfer {
+            region: 1,
+            from_task: 0,
+            to_task: 1,
+            bytes: 1_000,
+            at: SimTime(5),
+        });
+        assert_eq!(t.bytes_moved(), 100);
+        assert_eq!(t.bytes_transferred_by_ownership(), 1_000);
+    }
+
+    #[test]
+    fn migrations_count_on_both_devices() {
+        let mut t = Trace::enabled();
+        t.push(TraceEvent::Migrate {
+            region: 1,
+            from: MemDeviceId(0),
+            to: MemDeviceId(1),
+            bytes: 50,
+            at: SimTime(0),
+            took: SimDuration(1),
+        });
+        let per_dev = t.bytes_per_device();
+        assert_eq!(per_dev, vec![(MemDeviceId(0), 50), (MemDeviceId(1), 50)]);
+        assert_eq!(t.bytes_moved(), 50);
+    }
+
+    #[test]
+    fn count_filters_events() {
+        let mut t = Trace::enabled();
+        t.push(access(0, 1));
+        t.push(access(0, 1));
+        t.push(TraceEvent::TaskStart {
+            job: 0,
+            task: 0,
+            on: ComputeId(0),
+            at: SimTime(0),
+        });
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::Access { .. })), 2);
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::TaskStart { .. })), 1);
+    }
+
+    #[test]
+    fn event_timestamps_accessible() {
+        let e = access(0, 1);
+        assert_eq!(e.at(), SimTime(0));
+        let mut t = Trace::enabled();
+        t.push(e);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn csv_export_covers_every_event_kind() {
+        let mut t = Trace::enabled();
+        t.push(TraceEvent::Alloc { region: 1, dev: MemDeviceId(0), bytes: 64, at: SimTime(1) });
+        t.push(access(0, 64));
+        t.push(TraceEvent::Migrate {
+            region: 1,
+            from: MemDeviceId(0),
+            to: MemDeviceId(1),
+            bytes: 64,
+            at: SimTime(2),
+            took: SimDuration(3),
+        });
+        t.push(TraceEvent::OwnershipTransfer {
+            region: 1,
+            from_task: 0,
+            to_task: 1,
+            bytes: 64,
+            at: SimTime(3),
+        });
+        t.push(TraceEvent::TaskStart { job: 0, task: 1, on: ComputeId(0), at: SimTime(4) });
+        t.push(TraceEvent::TaskFinish { job: 0, task: 1, on: ComputeId(0), at: SimTime(5) });
+        t.push(TraceEvent::Free { region: 1, dev: MemDeviceId(1), bytes: 64, at: SimTime(6) });
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 8, "header + 7 events");
+        assert!(lines[0].starts_with("kind,at_ns"));
+        for kind in ["alloc", "access", "migrate", "transfer", "task_start", "task_finish", "free"] {
+            assert!(csv.lines().any(|l| l.starts_with(kind)), "missing {kind}");
+        }
+        // Every row has the header's arity.
+        let cols = lines[0].matches(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.matches(',').count(), cols, "bad row: {l}");
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! The memory pool: per-device arenas with real backing bytes.
+//!
+//! Every simulated memory device gets an *arena* that tracks offset-based
+//! allocations against the device's capacity with a coalescing first-fit
+//! free list — so capacity pressure and fragmentation are real, measurable
+//! effects. The *contents* of each allocation are backed by an ordinary
+//! heap buffer, so tasks compute on real bytes while capacities can be
+//! terabytes without reserving terabytes of host RAM.
+
+use std::collections::HashMap;
+
+use disagg_hwsim::ids::MemDeviceId;
+use disagg_hwsim::topology::Topology;
+
+/// Identifies one allocation (and later, one region) in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Allocation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// No free extent of the requested size exists on the device.
+    OutOfMemory {
+        /// The device that could not satisfy the request.
+        dev: MemDeviceId,
+        /// Requested bytes.
+        requested: u64,
+        /// Bytes still free (possibly fragmented).
+        free: u64,
+    },
+    /// Zero-sized allocations are rejected.
+    ZeroSize,
+    /// The id is unknown or already freed.
+    UnknownRegion(RegionId),
+    /// The region is too large for a contiguous byte view; use the
+    /// offset-based `read_at`/`write_at` API instead.
+    NotContiguous(RegionId),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { dev, requested, free } => {
+                write!(f, "{dev} cannot fit {requested} bytes ({free} free)")
+            }
+            AllocError::ZeroSize => write!(f, "zero-sized allocation"),
+            AllocError::UnknownRegion(id) => write!(f, "unknown or freed region {id}"),
+            AllocError::NotContiguous(id) => {
+                write!(f, "region {id} is sparse-backed; use read_at/write_at")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Where an allocation lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Backing device.
+    pub dev: MemDeviceId,
+    /// Byte offset within the device arena.
+    pub offset: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+#[derive(Debug)]
+struct Arena {
+    capacity: u64,
+    /// Free extents `(offset, len)`, sorted by offset, coalesced.
+    free: Vec<(u64, u64)>,
+    allocated: u64,
+    peak: u64,
+}
+
+impl Arena {
+    fn new(capacity: u64) -> Self {
+        Arena {
+            capacity,
+            free: if capacity > 0 { vec![(0, capacity)] } else { Vec::new() },
+            allocated: 0,
+            peak: 0,
+        }
+    }
+
+    fn free_bytes(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    fn alloc(&mut self, size: u64) -> Option<u64> {
+        // First fit.
+        let idx = self.free.iter().position(|&(_, len)| len >= size)?;
+        let (off, len) = self.free[idx];
+        if len == size {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = (off + size, len - size);
+        }
+        self.allocated += size;
+        self.peak = self.peak.max(self.allocated);
+        Some(off)
+    }
+
+    fn dealloc(&mut self, offset: u64, size: u64) {
+        let pos = self.free.partition_point(|&(o, _)| o < offset);
+        self.free.insert(pos, (offset, size));
+        // Coalesce with neighbours.
+        if pos + 1 < self.free.len() {
+            let (o, l) = self.free[pos];
+            let (no, nl) = self.free[pos + 1];
+            if o + l == no {
+                self.free[pos] = (o, l + nl);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (po, pl) = self.free[pos - 1];
+            let (o, l) = self.free[pos];
+            if po + pl == o {
+                self.free[pos - 1] = (po, pl + l);
+                self.free.remove(pos);
+            }
+        }
+        self.allocated -= size;
+    }
+
+    /// `1 - largest_free / total_free`; 0 when unfragmented or full.
+    fn fragmentation(&self) -> f64 {
+        let total: u64 = self.free.iter().map(|&(_, l)| l).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let largest = self.free.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        1.0 - largest as f64 / total as f64
+    }
+}
+
+/// Regions up to this size get one contiguous heap buffer; larger
+/// regions use sparse page-mapped backing so a simulated terabyte does
+/// not need a real terabyte of host RAM.
+pub const DENSE_BACKING_LIMIT: u64 = 64 << 20;
+
+/// Page size of the sparse backing.
+const SPARSE_PAGE: u64 = 64 << 10;
+
+/// Backing storage for a region's bytes.
+#[derive(Debug)]
+enum Backing {
+    /// One contiguous buffer (small regions).
+    Dense(Vec<u8>),
+    /// Lazily materialized pages; unmapped pages read as zero. The
+    /// logical size lives in the pool's placement table.
+    Sparse {
+        /// Materialized pages.
+        pages: HashMap<u64, Box<[u8]>>,
+    },
+}
+
+impl Backing {
+    fn new(size: u64) -> Backing {
+        if size <= DENSE_BACKING_LIMIT {
+            Backing::Dense(vec![0u8; size as usize])
+        } else {
+            Backing::Sparse { pages: HashMap::new() }
+        }
+    }
+
+    fn read(&self, offset: u64, buf: &mut [u8]) {
+        match self {
+            Backing::Dense(v) => {
+                buf.copy_from_slice(&v[offset as usize..offset as usize + buf.len()]);
+            }
+            Backing::Sparse { pages, .. } => {
+                let mut done = 0usize;
+                while done < buf.len() {
+                    let pos = offset + done as u64;
+                    let page = pos / SPARSE_PAGE;
+                    let within = (pos % SPARSE_PAGE) as usize;
+                    let take = (SPARSE_PAGE as usize - within).min(buf.len() - done);
+                    match pages.get(&page) {
+                        Some(p) => buf[done..done + take].copy_from_slice(&p[within..within + take]),
+                        None => buf[done..done + take].fill(0),
+                    }
+                    done += take;
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) {
+        match self {
+            Backing::Dense(v) => {
+                v[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+            }
+            Backing::Sparse { pages, .. } => {
+                let mut done = 0usize;
+                while done < data.len() {
+                    let pos = offset + done as u64;
+                    let page = pos / SPARSE_PAGE;
+                    let within = (pos % SPARSE_PAGE) as usize;
+                    let take = (SPARSE_PAGE as usize - within).min(data.len() - done);
+                    let p = pages
+                        .entry(page)
+                        .or_insert_with(|| vec![0u8; SPARSE_PAGE as usize].into_boxed_slice());
+                    p[within..within + take].copy_from_slice(&data[done..done + take]);
+                    done += take;
+                }
+            }
+        }
+    }
+
+    fn as_slice(&self) -> Option<&[u8]> {
+        match self {
+            Backing::Dense(v) => Some(v),
+            Backing::Sparse { .. } => None,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> Option<&mut [u8]> {
+        match self {
+            Backing::Dense(v) => Some(v),
+            Backing::Sparse { .. } => None,
+        }
+    }
+}
+
+/// The pool of all memory devices in a topology.
+#[derive(Debug)]
+pub struct MemoryPool {
+    arenas: Vec<Arena>,
+    placements: HashMap<RegionId, Placement>,
+    buffers: HashMap<RegionId, Backing>,
+    next_id: u64,
+}
+
+impl MemoryPool {
+    /// Builds a pool with one arena per memory device in the topology.
+    pub fn new(topo: &Topology) -> Self {
+        MemoryPool {
+            arenas: topo.mem_devices().iter().map(|m| Arena::new(m.capacity)).collect(),
+            placements: HashMap::new(),
+            buffers: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Allocates `size` bytes on `dev`, zero-initialized.
+    pub fn alloc(&mut self, dev: MemDeviceId, size: u64) -> Result<RegionId, AllocError> {
+        if size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let arena = &mut self.arenas[dev.index()];
+        let offset = arena.alloc(size).ok_or(AllocError::OutOfMemory {
+            dev,
+            requested: size,
+            free: arena.free_bytes(),
+        })?;
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        self.placements.insert(id, Placement { dev, offset, size });
+        self.buffers.insert(id, Backing::new(size));
+        Ok(id)
+    }
+
+    /// Frees an allocation, returning its former placement.
+    pub fn free(&mut self, id: RegionId) -> Result<Placement, AllocError> {
+        let placement = self
+            .placements
+            .remove(&id)
+            .ok_or(AllocError::UnknownRegion(id))?;
+        self.buffers.remove(&id);
+        self.arenas[placement.dev.index()].dealloc(placement.offset, placement.size);
+        Ok(placement)
+    }
+
+    /// The placement of a live allocation.
+    pub fn placement(&self, id: RegionId) -> Result<Placement, AllocError> {
+        self.placements
+            .get(&id)
+            .copied()
+            .ok_or(AllocError::UnknownRegion(id))
+    }
+
+    /// True if the id refers to a live allocation.
+    pub fn is_live(&self, id: RegionId) -> bool {
+        self.placements.contains_key(&id)
+    }
+
+    /// Read access to an allocation's bytes as one contiguous slice.
+    /// Fails with [`AllocError::NotContiguous`] for sparse-backed regions
+    /// (larger than [`DENSE_BACKING_LIMIT`]); use [`MemoryPool::read_at`]
+    /// for those.
+    pub fn data(&self, id: RegionId) -> Result<&[u8], AllocError> {
+        self.buffers
+            .get(&id)
+            .ok_or(AllocError::UnknownRegion(id))?
+            .as_slice()
+            .ok_or(AllocError::NotContiguous(id))
+    }
+
+    /// Write access to an allocation's bytes as one contiguous slice.
+    /// Fails with [`AllocError::NotContiguous`] for sparse-backed regions.
+    pub fn data_mut(&mut self, id: RegionId) -> Result<&mut [u8], AllocError> {
+        self.buffers
+            .get_mut(&id)
+            .ok_or(AllocError::UnknownRegion(id))?
+            .as_mut_slice()
+            .ok_or(AllocError::NotContiguous(id))
+    }
+
+    /// Reads `buf.len()` bytes at `offset` (works for any backing).
+    /// The caller checks bounds; out-of-range access panics.
+    pub fn read_at(&self, id: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), AllocError> {
+        let b = self.buffers.get(&id).ok_or(AllocError::UnknownRegion(id))?;
+        b.read(offset, buf);
+        Ok(())
+    }
+
+    /// Writes `data` at `offset` (works for any backing).
+    pub fn write_at(&mut self, id: RegionId, offset: u64, data: &[u8]) -> Result<(), AllocError> {
+        let b = self
+            .buffers
+            .get_mut(&id)
+            .ok_or(AllocError::UnknownRegion(id))?;
+        b.write(offset, data);
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` in bounded chunks (works for
+    /// any backing combination; used by handover copies and migrations).
+    pub fn copy_between(
+        &mut self,
+        src: RegionId,
+        dst: RegionId,
+        len: u64,
+    ) -> Result<(), AllocError> {
+        if !self.buffers.contains_key(&src) {
+            return Err(AllocError::UnknownRegion(src));
+        }
+        if !self.buffers.contains_key(&dst) {
+            return Err(AllocError::UnknownRegion(dst));
+        }
+        let mut chunk = vec![0u8; (1 << 20).min(len as usize).max(1)];
+        let mut off = 0u64;
+        while off < len {
+            let take = ((len - off) as usize).min(chunk.len());
+            self.buffers[&src].read(off, &mut chunk[..take]);
+            self.buffers
+                .get_mut(&dst)
+                .expect("checked above")
+                .write(off, &chunk[..take]);
+            off += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Moves an allocation's backing to another device (the physical part
+    /// of a migration). Contents are preserved; the id stays the same.
+    pub fn rebind(&mut self, id: RegionId, to: MemDeviceId) -> Result<Placement, AllocError> {
+        let old = self.placement(id)?;
+        if old.dev == to {
+            return Ok(old);
+        }
+        let arena = &mut self.arenas[to.index()];
+        let offset = arena.alloc(old.size).ok_or(AllocError::OutOfMemory {
+            dev: to,
+            requested: old.size,
+            free: arena.free_bytes(),
+        })?;
+        self.arenas[old.dev.index()].dealloc(old.offset, old.size);
+        let new = Placement {
+            dev: to,
+            offset,
+            size: old.size,
+        };
+        self.placements.insert(id, new);
+        Ok(new)
+    }
+
+    /// Bytes currently allocated on a device.
+    pub fn allocated(&self, dev: MemDeviceId) -> u64 {
+        self.arenas[dev.index()].allocated
+    }
+
+    /// Peak bytes ever allocated on a device.
+    pub fn peak(&self, dev: MemDeviceId) -> u64 {
+        self.arenas[dev.index()].peak
+    }
+
+    /// Capacity of a device arena.
+    pub fn capacity(&self, dev: MemDeviceId) -> u64 {
+        self.arenas[dev.index()].capacity
+    }
+
+    /// Fraction of a device's capacity currently allocated.
+    pub fn utilization(&self, dev: MemDeviceId) -> f64 {
+        let a = &self.arenas[dev.index()];
+        if a.capacity == 0 {
+            0.0
+        } else {
+            a.allocated as f64 / a.capacity as f64
+        }
+    }
+
+    /// Fragmentation of a device arena (`1 - largest_free/total_free`).
+    pub fn fragmentation(&self, dev: MemDeviceId) -> f64 {
+        self.arenas[dev.index()].fragmentation()
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Iterates over live allocations.
+    pub fn live(&self) -> impl Iterator<Item = (RegionId, Placement)> + '_ {
+        self.placements.iter().map(|(&id, &p)| (id, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disagg_hwsim::compute::{ComputeKind, ComputeModel};
+    use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
+    use disagg_hwsim::topology::{LinkKind, Topology};
+
+    fn pool_with_capacity(cap: u64) -> (MemoryPool, MemDeviceId) {
+        let mut b = Topology::builder();
+        let n = b.node("host");
+        let cpu = b.compute(n, ComputeModel::preset(ComputeKind::Cpu));
+        let dram = b.mem(n, MemDeviceModel::preset_with_capacity(MemDeviceKind::Dram, cap));
+        b.link(cpu, dram, LinkKind::MemBus);
+        let topo = b.build().unwrap();
+        (MemoryPool::new(&topo), dram)
+    }
+
+    #[test]
+    fn alloc_free_round_trip_restores_capacity() {
+        let (mut pool, dev) = pool_with_capacity(1024);
+        let id = pool.alloc(dev, 512).unwrap();
+        assert_eq!(pool.allocated(dev), 512);
+        assert!(pool.is_live(id));
+        pool.free(id).unwrap();
+        assert_eq!(pool.allocated(dev), 0);
+        assert!(!pool.is_live(id));
+        // The full extent is available again.
+        let id2 = pool.alloc(dev, 1024).unwrap();
+        assert_eq!(pool.placement(id2).unwrap().offset, 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let (mut pool, dev) = pool_with_capacity(1024);
+        pool.alloc(dev, 1000).unwrap();
+        let err = pool.alloc(dev, 100).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { free: 24, .. }));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let (mut pool, dev) = pool_with_capacity(1024);
+        assert_eq!(pool.alloc(dev, 0).unwrap_err(), AllocError::ZeroSize);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let (mut pool, dev) = pool_with_capacity(1024);
+        let id = pool.alloc(dev, 64).unwrap();
+        pool.free(id).unwrap();
+        assert_eq!(pool.free(id).unwrap_err(), AllocError::UnknownRegion(id));
+    }
+
+    #[test]
+    fn buffers_are_zero_initialized_and_writable() {
+        let (mut pool, dev) = pool_with_capacity(1024);
+        let id = pool.alloc(dev, 16).unwrap();
+        assert!(pool.data(id).unwrap().iter().all(|&b| b == 0));
+        pool.data_mut(id).unwrap()[0] = 0xAB;
+        assert_eq!(pool.data(id).unwrap()[0], 0xAB);
+    }
+
+    #[test]
+    fn freeing_middle_block_coalesces() {
+        let (mut pool, dev) = pool_with_capacity(300);
+        let a = pool.alloc(dev, 100).unwrap();
+        let b = pool.alloc(dev, 100).unwrap();
+        let c = pool.alloc(dev, 100).unwrap();
+        pool.free(a).unwrap();
+        pool.free(c).unwrap();
+        // Free list: [0,100) and [200,300) → fragmented.
+        assert!(pool.fragmentation(dev) > 0.0);
+        pool.free(b).unwrap();
+        // Fully coalesced again.
+        assert_eq!(pool.fragmentation(dev), 0.0);
+        let big = pool.alloc(dev, 300).unwrap();
+        assert_eq!(pool.placement(big).unwrap().offset, 0);
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_allocations_even_with_enough_total_free() {
+        let (mut pool, dev) = pool_with_capacity(300);
+        let a = pool.alloc(dev, 100).unwrap();
+        let _b = pool.alloc(dev, 100).unwrap();
+        let c = pool.alloc(dev, 100).unwrap();
+        pool.free(a).unwrap();
+        pool.free(c).unwrap();
+        // 200 bytes free but no contiguous 150-byte extent.
+        let err = pool.alloc(dev, 150).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { free: 200, .. }));
+    }
+
+    #[test]
+    fn rebind_moves_between_devices_preserving_contents() {
+        let mut b = Topology::builder();
+        let n = b.node("host");
+        let cpu = b.compute(n, ComputeModel::preset(ComputeKind::Cpu));
+        let d0 = b.mem(n, MemDeviceModel::preset_with_capacity(MemDeviceKind::Dram, 1024));
+        let d1 = b.mem(n, MemDeviceModel::preset_with_capacity(MemDeviceKind::Pmem, 1024));
+        b.link(cpu, d0, LinkKind::MemBus);
+        b.link(cpu, d1, LinkKind::MemBus);
+        let topo = b.build().unwrap();
+        let mut pool = MemoryPool::new(&topo);
+
+        let id = pool.alloc(d0, 64).unwrap();
+        pool.data_mut(id).unwrap()[7] = 42;
+        let new = pool.rebind(id, d1).unwrap();
+        assert_eq!(new.dev, d1);
+        assert_eq!(pool.allocated(d0), 0);
+        assert_eq!(pool.allocated(d1), 64);
+        assert_eq!(pool.data(id).unwrap()[7], 42);
+    }
+
+    #[test]
+    fn rebind_to_same_device_is_a_no_op() {
+        let (mut pool, dev) = pool_with_capacity(1024);
+        let id = pool.alloc(dev, 64).unwrap();
+        let before = pool.placement(id).unwrap();
+        let after = pool.rebind(id, dev).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn rebind_fails_when_target_is_full_and_keeps_origin() {
+        let mut b = Topology::builder();
+        let n = b.node("host");
+        let cpu = b.compute(n, ComputeModel::preset(ComputeKind::Cpu));
+        let d0 = b.mem(n, MemDeviceModel::preset_with_capacity(MemDeviceKind::Dram, 1024));
+        let d1 = b.mem(n, MemDeviceModel::preset_with_capacity(MemDeviceKind::Pmem, 32));
+        b.link(cpu, d0, LinkKind::MemBus);
+        b.link(cpu, d1, LinkKind::MemBus);
+        let topo = b.build().unwrap();
+        let mut pool = MemoryPool::new(&topo);
+
+        let id = pool.alloc(d0, 64).unwrap();
+        assert!(pool.rebind(id, d1).is_err());
+        assert_eq!(pool.placement(id).unwrap().dev, d0);
+        assert_eq!(pool.allocated(d0), 64);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let (mut pool, dev) = pool_with_capacity(1024);
+        let a = pool.alloc(dev, 400).unwrap();
+        let b = pool.alloc(dev, 400).unwrap();
+        pool.free(a).unwrap();
+        pool.free(b).unwrap();
+        assert_eq!(pool.peak(dev), 800);
+        assert_eq!(pool.allocated(dev), 0);
+    }
+
+    #[test]
+    fn utilization_reflects_allocated_fraction() {
+        let (mut pool, dev) = pool_with_capacity(1000);
+        pool.alloc(dev, 250).unwrap();
+        assert!((pool.utilization(dev) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn live_iterates_all_allocations() {
+        let (mut pool, dev) = pool_with_capacity(1024);
+        let a = pool.alloc(dev, 10).unwrap();
+        let b = pool.alloc(dev, 20).unwrap();
+        let mut ids: Vec<RegionId> = pool.live().map(|(id, _)| id).collect();
+        ids.sort();
+        assert_eq!(ids, vec![a, b]);
+        assert_eq!(pool.live_count(), 2);
+    }
+
+    #[test]
+    fn offset_io_works_on_dense_backing() {
+        let (mut pool, dev) = pool_with_capacity(1 << 20);
+        let id = pool.alloc(dev, 4096).unwrap();
+        pool.write_at(id, 100, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        pool.read_at(id, 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        // data() works for dense regions.
+        assert_eq!(&pool.data(id).unwrap()[100..105], b"hello");
+    }
+
+    #[test]
+    fn huge_regions_are_sparse_and_reject_contiguous_views() {
+        let (mut pool, dev) = pool_with_capacity(1 << 30);
+        let id = pool.alloc(dev, 512 << 20).unwrap();
+        assert!(matches!(pool.data(id), Err(AllocError::NotContiguous(_))));
+        assert!(matches!(pool.data_mut(id), Err(AllocError::NotContiguous(_))));
+        // But offset I/O works anywhere, and unwritten bytes read zero.
+        pool.write_at(id, 400 << 20, b"far out").unwrap();
+        let mut buf = [0u8; 7];
+        pool.read_at(id, 400 << 20, &mut buf).unwrap();
+        assert_eq!(&buf, b"far out");
+        let mut z = [9u8; 4];
+        pool.read_at(id, 100 << 20, &mut z).unwrap();
+        assert_eq!(z, [0u8; 4]);
+    }
+
+    #[test]
+    fn sparse_writes_spanning_page_boundaries_round_trip() {
+        let (mut pool, dev) = pool_with_capacity(1 << 30);
+        let id = pool.alloc(dev, 512 << 20).unwrap();
+        // 64 KiB pages: straddle the boundary at page 1.
+        let off = (64 << 10) - 3;
+        let payload: Vec<u8> = (0..9).collect();
+        pool.write_at(id, off, &payload).unwrap();
+        let mut buf = vec![0u8; 9];
+        pool.read_at(id, off, &mut buf).unwrap();
+        assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn copy_between_streams_across_backings() {
+        let (mut pool, dev) = pool_with_capacity(1 << 30);
+        // Dense source, sparse destination.
+        let small = pool.alloc(dev, 4096).unwrap();
+        let big = pool.alloc(dev, 512 << 20).unwrap();
+        pool.write_at(small, 0, &[0xAB; 4096]).unwrap();
+        pool.copy_between(small, big, 4096).unwrap();
+        let mut buf = [0u8; 4096];
+        pool.read_at(big, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0xAB; 4096]);
+        // Unknown regions are rejected.
+        assert!(pool.copy_between(RegionId(999), big, 1).is_err());
+        assert!(pool.copy_between(small, RegionId(999), 1).is_err());
+    }
+}

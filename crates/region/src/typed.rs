@@ -1,0 +1,167 @@
+//! The predefined Memory Regions of Table 2.
+//!
+//! The paper names three region types that dataflow systems keep reaching
+//! for, each a bundle of properties:
+//!
+//! | Name            | Properties              | Purpose            |
+//! |-----------------|-------------------------|--------------------|
+//! | Global State    | {coherent, sync}        | Syncing tasks      |
+//! | Global Scratch  | {coherent, async}       | Data exchange      |
+//! | Private Scratch | {noncoherent, sync}     | Thread-local data  |
+//!
+//! Plus the dataflow plumbing regions of Figure 4: `Input` and `Output`,
+//! which the runtime allocates so that handover between adjacent tasks is
+//! a pure ownership transfer whenever both compute devices can address the
+//! memory.
+
+use crate::props::{AccessHint, AccessMode, BandwidthClass, LatencyClass, PropertySet};
+
+/// The region vocabulary a task context exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionType {
+    /// Thread-local working memory; not shared, not transferable.
+    PrivateScratch,
+    /// Application-global synchronization state; coherent and strongly
+    /// ordered, expected slow.
+    GlobalState,
+    /// Cross-task data exchange for unconnected tasks; coherent with an
+    /// asynchronous interface.
+    GlobalScratch,
+    /// The data set a task operates on (produced by its predecessor).
+    Input,
+    /// The data a task produces (the successor's input).
+    Output,
+}
+
+impl RegionType {
+    /// All predefined types.
+    pub const ALL: [RegionType; 5] = [
+        RegionType::PrivateScratch,
+        RegionType::GlobalState,
+        RegionType::GlobalScratch,
+        RegionType::Input,
+        RegionType::Output,
+    ];
+
+    /// The Table 2 rows (the three named regions).
+    pub const TABLE2: [RegionType; 3] = [
+        RegionType::GlobalState,
+        RegionType::GlobalScratch,
+        RegionType::PrivateScratch,
+    ];
+
+    /// The paper's name for this region type.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionType::PrivateScratch => "Private Scratch",
+            RegionType::GlobalState => "Global State",
+            RegionType::GlobalScratch => "Global Scratch",
+            RegionType::Input => "Input",
+            RegionType::Output => "Output",
+        }
+    }
+
+    /// The property bundle this region type expands to (Table 2).
+    pub fn properties(self) -> PropertySet {
+        match self {
+            // Fast and local to the executing thread; coherence can be
+            // relaxed because nothing else sees it.
+            RegionType::PrivateScratch => PropertySet::new()
+                .coherent(false)
+                .with_mode(AccessMode::Sync)
+                .with_latency(LatencyClass::Low)
+                .with_hint(AccessHint::mixed_random()),
+            // Visible to every task: must be coherent with strong
+            // ordering; latency is whatever the pool can offer.
+            RegionType::GlobalState => PropertySet::new()
+                .coherent(true)
+                .with_mode(AccessMode::Sync)
+                .with_latency(LatencyClass::Medium)
+                .with_hint(AccessHint::random_reads()),
+            // Bulk exchange space: coherent, asynchronous, bandwidth over
+            // latency.
+            RegionType::GlobalScratch => PropertySet::new()
+                .coherent(true)
+                .with_mode(AccessMode::Async)
+                .with_bandwidth(BandwidthClass::Medium)
+                .with_hint(AccessHint::streaming()),
+            // Dataflow inputs are streamed by the consumer: bandwidth
+            // matters, per-access latency does not bound feasibility.
+            RegionType::Input => PropertySet::new()
+                .with_mode(AccessMode::Sync)
+                .with_hint(AccessHint::streaming()),
+            // Outputs are written once by the producer, then handed over.
+            // No latency class: a persistent output must be placeable on
+            // PMem-class devices across the rack fabric.
+            RegionType::Output => PropertySet::new()
+                .with_mode(AccessMode::Sync)
+                .with_hint(AccessHint {
+                    read_fraction: 0.1,
+                    ..AccessHint::streaming()
+                }),
+        }
+    }
+
+    /// Whether regions of this type may be shared between tasks.
+    pub fn shareable(self) -> bool {
+        !matches!(self, RegionType::PrivateScratch)
+    }
+
+    /// Whether regions of this type may move between owners (Figure 4's
+    /// "transfer ownership" arrow). Private scratch is pinned to its
+    /// thread; everything else can be handed over.
+    pub fn transferable(self) -> bool {
+        !matches!(self, RegionType::PrivateScratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_property_bundles_match_the_paper() {
+        let gs = RegionType::GlobalState.properties();
+        assert!(gs.coherent);
+        assert_eq!(gs.mode, AccessMode::Sync);
+
+        let gsc = RegionType::GlobalScratch.properties();
+        assert!(gsc.coherent);
+        assert_eq!(gsc.mode, AccessMode::Async);
+
+        let ps = RegionType::PrivateScratch.properties();
+        assert!(!ps.coherent);
+        assert_eq!(ps.mode, AccessMode::Sync);
+    }
+
+    #[test]
+    fn private_scratch_is_neither_shareable_nor_transferable() {
+        assert!(!RegionType::PrivateScratch.shareable());
+        assert!(!RegionType::PrivateScratch.transferable());
+        assert!(RegionType::GlobalScratch.shareable());
+        assert!(RegionType::Output.transferable());
+    }
+
+    #[test]
+    fn private_scratch_demands_low_latency() {
+        assert_eq!(
+            RegionType::PrivateScratch.properties().latency,
+            LatencyClass::Low
+        );
+    }
+
+    #[test]
+    fn names_match_paper_vocabulary() {
+        assert_eq!(RegionType::GlobalState.name(), "Global State");
+        assert_eq!(RegionType::GlobalScratch.name(), "Global Scratch");
+        assert_eq!(RegionType::PrivateScratch.name(), "Private Scratch");
+    }
+
+    #[test]
+    fn outputs_are_write_heavy() {
+        let out = RegionType::Output.properties();
+        assert!(out.hint.read_fraction < 0.5);
+        let inp = RegionType::Input.properties();
+        assert!(inp.hint.read_fraction >= 0.5);
+    }
+}

@@ -1,0 +1,32 @@
+//! The runtime system (RTS): cost model, placement, scheduling,
+//! lifetimes, and enforcement.
+//!
+//! This crate is the paper's envisioned runtime underneath the
+//! declarative programming model. Its responsibilities, straight from
+//! §2.3: "(1) determining at runtime which physical memory device best
+//! fits each task's declared requirements, (2) allocating the Memory
+//! Regions that tasks have requested, (3) de-allocating Memory Regions
+//! after the last owning task finishes, (4) and resource-aware task
+//! scheduling."
+//!
+//! - [`cost`]: the topology-aware cost model (Challenge 2).
+//! - [`placement`]: the optimizer plus the compute-centric and
+//!   worst-feasible baselines the experiments compare against.
+//! - [`schedule`]: HEFT-style list scheduling over heterogeneous compute
+//!   devices with per-device parallelism.
+//! - [`lifetime`]: output→input handover (ownership transfer vs copy) and
+//!   release-on-last-owner cleanup (Challenge 3; Figure 4).
+//! - [`enforce`]: placement auditing, confidential-access denial
+//!   accounting, and the trust-boundary encryption rule.
+
+pub mod cost;
+pub mod enforce;
+pub mod lifetime;
+pub mod placement;
+pub mod schedule;
+
+pub use cost::{CostModel, CostWeights, TopologyAwareness};
+pub use enforce::{needs_encryption, xor_cipher, Auditor, Violation};
+pub use lifetime::{HandoverOutcome, HandoverPolicy, LifetimeManager, TRANSFER_OVERHEAD};
+pub use placement::{PlacementDecision, PlacementEngine, PlacementPolicy};
+pub use schedule::{SchedError, SchedPolicy, Schedule, ScheduleEntry, Scheduler};

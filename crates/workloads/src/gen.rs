@@ -1,0 +1,243 @@
+//! Deterministic workload generators.
+//!
+//! Every experiment input — relations, key distributions, video frames,
+//! event streams, job arrival offsets — comes from seeded generators so
+//! runs are reproducible bit-for-bit. The Zipf sampler matters because
+//! pooling economics (experiment E4/E11) depend on *skewed* per-job
+//! memory demand, which is what makes static provisioning wasteful.
+
+use disagg_hwsim::rng::SimRng;
+
+/// A tuple of the synthetic relations: a key and a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuple {
+    /// Join/group key.
+    pub key: u64,
+    /// Payload value.
+    pub val: u64,
+}
+
+/// Fixed serialized width of a [`Tuple`] (two little-endian u64s).
+pub const TUPLE_BYTES: usize = 16;
+
+impl Tuple {
+    /// Serializes into 16 bytes.
+    pub fn encode(&self) -> [u8; TUPLE_BYTES] {
+        let mut out = [0u8; TUPLE_BYTES];
+        out[..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..].copy_from_slice(&self.val.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from 16 bytes.
+    pub fn decode(buf: &[u8]) -> Tuple {
+        Tuple {
+            key: u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")),
+            val: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+/// Encodes a whole slice of tuples.
+pub fn encode_tuples(tuples: &[Tuple]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(tuples.len() * TUPLE_BYTES);
+    for t in tuples {
+        out.extend_from_slice(&t.encode());
+    }
+    out
+}
+
+/// Decodes a byte buffer into tuples (truncating any partial trailer).
+pub fn decode_tuples(buf: &[u8]) -> Vec<Tuple> {
+    buf.chunks_exact(TUPLE_BYTES).map(Tuple::decode).collect()
+}
+
+/// A Zipf(θ) sampler over `[0, n)` using the classic CDF-inversion with
+/// precomputed harmonic normalization (exact, not approximate).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with skew `theta` (0 = uniform,
+    /// ~1 = classic Zipf, >1 heavily skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(theta >= 0.0 && theta.is_finite(), "bad skew {theta}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples one rank (0 = most popular).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Generates a relation of `n` tuples with Zipf-distributed keys over
+/// `key_space` and uniform payloads in `[0, 1000)`.
+pub fn relation(n: usize, key_space: usize, theta: f64, seed: u64) -> Vec<Tuple> {
+    let mut rng = SimRng::new(seed);
+    let zipf = Zipf::new(key_space, theta);
+    (0..n)
+        .map(|_| Tuple {
+            key: zipf.sample(&mut rng) as u64,
+            val: rng.next_below(1000),
+        })
+        .collect()
+}
+
+/// A synthetic CCTV-style frame: a seeded byte pattern with a small
+/// number of embedded "faces" (marker bytes) the pipeline can count.
+pub fn frame(width: usize, height: usize, faces: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SimRng::new(seed);
+    let mut buf = vec![0u8; width * height];
+    rng.fill_bytes(&mut buf);
+    // Clear marker value everywhere, then stamp exactly `faces` markers.
+    for b in buf.iter_mut() {
+        if *b == 0xFA {
+            *b = 0;
+        }
+    }
+    for _ in 0..faces {
+        let pos = rng.next_below((width * height) as u64) as usize;
+        buf[pos] = 0xFA;
+    }
+    buf
+}
+
+/// Counts the face markers in a frame (the "recognition" ground truth).
+pub fn count_faces(frame: &[u8]) -> usize {
+    frame.iter().filter(|&&b| b == 0xFA).count()
+}
+
+/// Deterministic event stream for the streaming workload: `(timestamp_ms,
+/// key, value)` triples with monotone timestamps.
+pub fn event_stream(n: usize, keys: usize, seed: u64) -> Vec<(u64, u64, u64)> {
+    let mut rng = SimRng::new(seed);
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            t += rng.next_below(10);
+            (t, rng.next_below(keys as u64), rng.next_below(100))
+        })
+        .collect()
+}
+
+/// Per-job memory demands (bytes) drawn from a skewed distribution, for
+/// the pooling-economics experiments: most jobs are small, a few are
+/// huge — the shape that makes peak provisioning wasteful.
+pub fn skewed_demands(jobs: usize, min: u64, max: u64, theta: f64, seed: u64) -> Vec<u64> {
+    let mut rng = SimRng::new(seed);
+    let zipf = Zipf::new(64, theta);
+    (0..jobs)
+        .map(|_| {
+            let rank = zipf.sample(&mut rng) as u64;
+            // Rank 0 → max demand, deep ranks → near min (quadratic
+            // falloff keeps the tail genuinely small).
+            let frac = 1.0 / ((rank + 1) * (rank + 1)) as f64;
+            min + ((max - min) as f64 * frac) as u64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = Tuple { key: 0xDEAD, val: 42 };
+        assert_eq!(Tuple::decode(&t.encode()), t);
+        let batch = vec![t, Tuple { key: 1, val: 2 }];
+        assert_eq!(decode_tuples(&encode_tuples(&batch)), batch);
+    }
+
+    #[test]
+    fn decode_ignores_partial_trailer() {
+        let mut bytes = encode_tuples(&[Tuple { key: 1, val: 2 }]);
+        bytes.extend_from_slice(&[0u8; 5]);
+        assert_eq!(decode_tuples(&bytes).len(), 1);
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SimRng::new(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_high_theta_concentrates_on_rank_zero() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = SimRng::new(2);
+        let hits = (0..10_000).filter(|_| z.sample(&mut rng) == 0).count();
+        assert!(hits > 1_000, "rank 0 got only {hits}/10000");
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let z = Zipf::new(7, 0.9);
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn relation_is_deterministic_per_seed() {
+        let a = relation(1000, 100, 0.8, 42);
+        let b = relation(1000, 100, 0.8, 42);
+        let c = relation(1000, 100, 0.8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|t| t.key < 100 && t.val < 1000));
+    }
+
+    #[test]
+    fn frames_embed_exactly_the_requested_faces() {
+        for faces in [0usize, 1, 5, 20] {
+            let f = frame(320, 240, faces, 7);
+            // Markers can collide on the same position, so ≤; with a
+            // 76 800-pixel frame collisions are vanishingly rare.
+            assert_eq!(count_faces(&f), faces, "faces={faces}");
+        }
+    }
+
+    #[test]
+    fn event_stream_timestamps_are_monotone() {
+        let ev = event_stream(10_000, 16, 5);
+        assert!(ev.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(ev.iter().all(|&(_, k, v)| k < 16 && v < 100));
+    }
+
+    #[test]
+    fn skewed_demands_are_skewed_and_bounded() {
+        let d = skewed_demands(200, 1 << 20, 1 << 30, 1.1, 9);
+        assert!(d.iter().all(|&x| (1 << 20..=1 << 30).contains(&x)));
+        let max = *d.iter().max().unwrap();
+        let mean = d.iter().sum::<u64>() / d.len() as u64;
+        assert!(max > 3 * mean, "max {max} vs mean {mean}: not skewed");
+    }
+}

@@ -1,0 +1,24 @@
+//! Application workloads: the four rows of the paper's Table 3.
+//!
+//! Each module maps one application class onto the three predefined
+//! Memory Regions exactly as Table 3 prescribes, with real, verifiable
+//! computation (reference implementations compute the expected answers):
+//!
+//! | Module        | Private Scratch      | Global State       | Global Scratch        |
+//! |---------------|----------------------|--------------------|-----------------------|
+//! | [`dbms`]      | operator hash tables | latches            | reusable agg index    |
+//! | [`ml`]        | training state       | worker state       | cached transformed data |
+//! | [`hpc`]       | working grid         | node heartbeats    | checkpoint blob store |
+//! | [`streaming`] | recv buffers         | cluster state      | result cache          |
+//!
+//! [`gen`] provides the deterministic generators (Zipf keys, relations,
+//! frames, event streams, skewed per-job demands) every experiment is
+//! seeded from.
+
+pub mod dbms;
+pub mod gen;
+pub mod hospital;
+pub mod hpc;
+pub mod ml;
+pub mod streaming;
+pub mod util;

@@ -1,0 +1,222 @@
+//! Streaming workload: tumbling-window aggregation.
+//!
+//! Table 3's streaming row: "cache/buffer (send, recv.)" in **private
+//! scratch**, "cluster/worker state" in **global state**, "result/data
+//! cache" in **global scratch**. The job ingests a deterministic event
+//! stream, aggregates per-key sums over tumbling windows using an
+//! in-scratch receive buffer, appends window results to the result cache,
+//! and persists a final summary.
+
+use disagg_core::prelude::*;
+use disagg_hwsim::compute::WorkClass;
+
+use crate::gen::event_stream;
+use crate::util::{read_counted_input, write_counted_output};
+
+/// Parameters for the streaming job.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Events in the stream.
+    pub events: usize,
+    /// Distinct keys.
+    pub keys: usize,
+    /// Tumbling window width in stream-time milliseconds.
+    pub window_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            events: 20_000,
+            keys: 32,
+            window_ms: 1_000,
+            seed: 13,
+        }
+    }
+}
+
+/// A closed window's aggregate: `(window_index, events, value_sum)`.
+pub type WindowAgg = (u64, u64, u64);
+
+/// Reference implementation of the window aggregation.
+pub fn expected_windows(cfg: &StreamConfig) -> Vec<WindowAgg> {
+    let mut out: Vec<WindowAgg> = Vec::new();
+    for (ts, _key, val) in event_stream(cfg.events, cfg.keys, cfg.seed) {
+        let w = ts / cfg.window_ms;
+        match out.last_mut() {
+            Some(last) if last.0 == w => {
+                last.1 += 1;
+                last.2 += val;
+            }
+            _ => out.push((w, 1, val)),
+        }
+    }
+    out
+}
+
+const EVENT_BYTES: usize = 24;
+
+fn encode_events(ev: &[(u64, u64, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ev.len() * EVENT_BYTES);
+    for &(a, b, c) in ev {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out
+}
+
+fn decode_events(bytes: &[u8]) -> Vec<(u64, u64, u64)> {
+    bytes
+        .chunks_exact(EVENT_BYTES)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[..8].try_into().expect("8")),
+                u64::from_le_bytes(c[8..16].try_into().expect("8")),
+                u64::from_le_bytes(c[16..24].try_into().expect("8")),
+            )
+        })
+        .collect()
+}
+
+/// Builds the streaming job: `source → window-aggregate → sink`.
+pub fn windowed_job(cfg: StreamConfig) -> JobSpec {
+    let mut job = JobBuilder::new("stream-windows")
+        .defaults(TaskProps {
+            streaming: Some(true),
+            ..TaskProps::default()
+        })
+        .global_state(4096);
+    let stream_bytes = (cfg.events * EVENT_BYTES) as u64;
+
+    let source = job.task(
+        TaskSpec::new("source")
+            .work(WorkClass::Scalar, cfg.events as u64)
+            .output_bytes(stream_bytes + 8)
+            .body(move |ctx| {
+                let ev = event_stream(cfg.events, cfg.keys, cfg.seed);
+                ctx.compute(WorkClass::Scalar, cfg.events as u64);
+                write_counted_output(ctx, &encode_events(&ev))
+            }),
+    );
+
+    let recv_buf = 64 * EVENT_BYTES as u64;
+    let agg = job.task(
+        TaskSpec::new("window-aggregate")
+            .work(WorkClass::Scalar, cfg.events as u64)
+            .mem_latency(LatencyClass::Low)
+            .private_scratch(recv_buf)
+            .global_scratch(stream_bytes.max(4096))
+            .output_bytes(stream_bytes + 8)
+            .body(move |ctx| {
+                let events = decode_events(&read_counted_input(ctx)?);
+                let results = ctx.global_scratch()?;
+                let mut windows: Vec<WindowAgg> = Vec::new();
+                let mut appended = 0u64;
+                for batch in events.chunks(64) {
+                    // Stage the batch through the receive buffer (charged
+                    // as real scratch traffic).
+                    ctx.scratch_write(0, &encode_events(batch))?;
+                    ctx.compute(WorkClass::Scalar, batch.len() as u64);
+                    for &(ts, _key, val) in batch {
+                        let w = ts / cfg.window_ms;
+                        match windows.last_mut() {
+                            Some(last) if last.0 == w => {
+                                last.1 += 1;
+                                last.2 += val;
+                            }
+                            _ => {
+                                // A window closed: append it to the result
+                                // cache asynchronously.
+                                if let Some(&closed) = windows.last() {
+                                    ctx.async_write(
+                                        results,
+                                        appended * EVENT_BYTES as u64,
+                                        &encode_events(&[closed]),
+                                    )?;
+                                    appended += 1;
+                                }
+                                windows.push((w, 1, val));
+                            }
+                        }
+                    }
+                    // Cluster/worker heartbeat.
+                    ctx.state_write(0, &appended.to_le_bytes())?;
+                }
+                ctx.wait_async();
+                ctx.publish("results", results);
+                write_counted_output(ctx, &encode_events(&windows))
+            }),
+    );
+
+    let sink = job.task(
+        TaskSpec::new("sink")
+            .work(WorkClass::Scalar, 1_000)
+            .persistent(true)
+            .output_bytes(stream_bytes + 8)
+            .body(move |ctx| {
+                let windows = decode_events(&read_counted_input(ctx)?);
+                ctx.compute(WorkClass::Scalar, windows.len() as u64);
+                write_counted_output(ctx, &encode_events(&windows))
+            }),
+    );
+
+    job.edge(source, agg);
+    job.edge(agg, sink);
+    job.build().expect("streaming job is a valid DAG")
+}
+
+/// Decodes the sink's persistent output into window aggregates.
+pub fn decode_result(out: &[u8]) -> Vec<WindowAgg> {
+    decode_events(&crate::util::decode_counted(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::final_output;
+    use disagg_hwsim::presets::single_server;
+
+    #[test]
+    fn windows_match_the_reference() {
+        let cfg = StreamConfig {
+            events: 5_000,
+            ..StreamConfig::default()
+        };
+        let (topo, _) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+        let report = rt.submit(windowed_job(cfg)).unwrap();
+        let got = decode_result(&final_output(&rt, &report, JobId(0), "sink"));
+        assert_eq!(got, expected_windows(&cfg));
+        assert!(report.placements_clean());
+    }
+
+    #[test]
+    fn event_totals_are_conserved() {
+        let cfg = StreamConfig::default();
+        let windows = expected_windows(&cfg);
+        let total_events: u64 = windows.iter().map(|w| w.1).sum();
+        assert_eq!(total_events, cfg.events as u64);
+        let raw_sum: u64 = event_stream(cfg.events, cfg.keys, cfg.seed)
+            .iter()
+            .map(|e| e.2)
+            .sum();
+        let win_sum: u64 = windows.iter().map(|w| w.2).sum();
+        assert_eq!(raw_sum, win_sum);
+    }
+
+    #[test]
+    fn smaller_windows_produce_more_aggregates() {
+        let coarse = expected_windows(&StreamConfig {
+            window_ms: 5_000,
+            ..StreamConfig::default()
+        });
+        let fine = expected_windows(&StreamConfig {
+            window_ms: 100,
+            ..StreamConfig::default()
+        });
+        assert!(fine.len() > coarse.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Remotable pointers and swizzling — the mechanism the paper's RTS
+//! discussion builds on ("pointer tagging to track the hotness of pages
+//! or objects and to implement remotable pointers that either point to
+//! objects in local or in remote memory (pointer swizzling)").
+//!
+//! A linked list lives in far memory; its `next` pointers are 64-bit
+//! [`TaggedPtr`]s carrying a device id, an offset, a hotness counter, and
+//! a remote bit. Traversals chase pointers at far-memory latency. After a
+//! few rounds the hot prefix is promoted to DRAM and its pointers are
+//! *swizzled* (patched to the local copies) — subsequent traversals of
+//! the hot prefix run at DRAM latency.
+//!
+//! Run with: `cargo run --example pointer_swizzling`
+
+use disagg_hwsim::contention::BandwidthLedger;
+use disagg_hwsim::device::AccessPattern;
+use disagg_hwsim::presets::single_server;
+use disagg_hwsim::time::SimTime;
+use disagg_hwsim::trace::Trace;
+use disagg_region::access::Accessor;
+use disagg_region::hotness::TaggedPtr;
+use disagg_region::pool::RegionId;
+use disagg_region::props::{AccessMode, PropertySet};
+use disagg_region::region::{OwnerId, RegionManager};
+use disagg_region::typed::RegionType;
+
+const WHO: OwnerId = OwnerId::App;
+/// One list node: a tagged next-pointer and 56 bytes of payload.
+const NODE: u64 = 64;
+
+fn read_node(acc: &mut Accessor<'_>, region: RegionId, offset: u64) -> TaggedPtr {
+    let mut buf = [0u8; NODE as usize];
+    acc.read(region, offset, &mut buf, AccessPattern::Random)
+        .expect("node read");
+    TaggedPtr::from_raw(u64::from_le_bytes(buf[..8].try_into().expect("8")))
+}
+
+fn write_node(acc: &mut Accessor<'_>, region: RegionId, offset: u64, next: TaggedPtr, tag: u8) {
+    let mut buf = [tag; NODE as usize];
+    buf[..8].copy_from_slice(&next.raw().to_le_bytes());
+    acc.write(region, offset, &buf, AccessPattern::Random)
+        .expect("node write");
+}
+
+fn main() {
+    let (topo, h) = single_server();
+    let mut mgr = RegionManager::new(&topo);
+    let mut ledger = BandwidthLedger::default_buckets();
+    let mut trace = Trace::disabled();
+
+    let nodes: u64 = 512;
+    let props = PropertySet::new().with_mode(AccessMode::Async);
+    let far_region = mgr
+        .alloc(h.far, nodes * NODE, RegionType::GlobalScratch, props.clone(), WHO, SimTime::ZERO)
+        .expect("far list");
+    let local_region = mgr
+        .alloc(h.dram, nodes * NODE, RegionType::GlobalScratch, props, WHO, SimTime::ZERO)
+        .expect("local mirror");
+
+    // Build the list in far memory: node i → node i+1, all marked remote.
+    {
+        let mut acc =
+            Accessor::new(&topo, &mut ledger, &mut mgr, &mut trace, h.cpu, WHO, SimTime::ZERO);
+        for i in 0..nodes {
+            let next = if i + 1 < nodes {
+                TaggedPtr::pack(h.far, (i + 1) * NODE, 0, true)
+            } else {
+                TaggedPtr::pack(h.far, 0, 0, true) // Sentinel back to head.
+            };
+            write_node(&mut acc, far_region, i * NODE, next, i as u8);
+        }
+    }
+
+    // A traversal chases `hot_len` pointers from the head.
+    let hot_len: u64 = 64;
+    let traverse = |mgr: &mut RegionManager, ledger: &mut BandwidthLedger| {
+        let mut trace = Trace::disabled();
+        let mut acc = Accessor::new(&topo, ledger, mgr, &mut trace, h.cpu, WHO, SimTime::ZERO);
+        let mut ptr = TaggedPtr::pack(h.far, 0, 0, true);
+        let mut hops = 0;
+        while hops < hot_len {
+            let region = if ptr.is_remote() { far_region } else { local_region };
+            ptr = read_node(&mut acc, region, ptr.offset()).touched();
+            hops += 1;
+        }
+        acc.now - SimTime::ZERO
+    };
+
+    let cold = traverse(&mut mgr, &mut ledger);
+    println!("traversal over far memory:      {cold}");
+
+    // Promote the hot prefix: copy nodes to DRAM and swizzle pointers so
+    // the chain stays intact but points at the local copies.
+    {
+        let mut acc =
+            Accessor::new(&topo, &mut ledger, &mut mgr, &mut trace, h.cpu, WHO, SimTime::ZERO);
+        for i in 0..hot_len {
+            let next_remote = read_node(&mut acc, far_region, i * NODE);
+            let swizzled = if i + 1 < hot_len {
+                // Next node will be local too: patch device + offset.
+                next_remote.swizzle(h.dram, (i + 1) * NODE)
+            } else {
+                next_remote // Tail of the hot prefix stays remote.
+            };
+            write_node(&mut acc, local_region, i * NODE, swizzled, i as u8);
+        }
+        println!("promotion + swizzling cost:     {}", acc.now - SimTime::ZERO);
+    }
+
+    // Re-point the entry and traverse again: all hops are now local.
+    let hot = {
+        let mut trace = Trace::disabled();
+        let mut acc =
+            Accessor::new(&topo, &mut ledger, &mut mgr, &mut trace, h.cpu, WHO, SimTime::ZERO);
+        let mut ptr = TaggedPtr::pack(h.dram, 0, 0, false);
+        for _ in 0..hot_len {
+            let region = if ptr.is_remote() { far_region } else { local_region };
+            ptr = read_node(&mut acc, region, ptr.offset()).touched();
+        }
+        acc.now - SimTime::ZERO
+    };
+    println!("traversal after swizzling:      {hot}");
+
+    let speedup = cold.as_nanos_f64() / hot.as_nanos_f64();
+    println!("pointer chasing sped up {speedup:.1}x by swizzling the hot prefix local");
+    assert!(speedup > 5.0, "swizzling should win big on pointer chases");
+    let _ = traverse; // Silence the helper if unused in future edits.
+}

@@ -1,0 +1,77 @@
+//! Profiling across abstraction layers (the paper's Challenge 8(1)).
+//!
+//! The runtime hides placement and movement decisions from the
+//! application — but keeps the books. This example runs a deliberately
+//! unbalanced job and shows how the profile pins each task's time to a
+//! layer: application compute, programming-model memory stalls, or
+//! runtime overhead.
+//!
+//! Run with: `cargo run --example profiling`
+
+use disagg_core::prelude::*;
+use disagg_region::props::PropertySet;
+use disagg_region::typed::RegionType;
+
+fn main() {
+    let (topo, _) = disagg_hwsim::presets::single_server();
+    let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+
+    let mut job = JobBuilder::new("unbalanced");
+    let crunch = job.task(
+        TaskSpec::new("crunch")
+            .work(WorkClass::Scalar, 5_000_000)
+            .output_bytes(1 << 16)
+            .body(|ctx| {
+                ctx.compute(WorkClass::Scalar, 5_000_000);
+                ctx.write_output(0, &[1u8; 1 << 16])?;
+                Ok(())
+            }),
+    );
+    let thrash = job.task(TaskSpec::new("thrash").body(|ctx| {
+        // Random 64 B reads against async-capable memory the optimizer
+        // placed by properties: deliberately latency-bound.
+        let props = PropertySet::new()
+            .with_mode(AccessMode::Async)
+            .with_hint(AccessHint::random_reads());
+        let r = ctx.alloc(RegionType::GlobalScratch, props, 8 << 20)?;
+        let mut buf = [0u8; 64];
+        for i in 0..2_000u64 {
+            ctx.acc
+                .read(r, (i * 7919) % ((8 << 20) - 64), &mut buf, AccessPattern::Random)?;
+        }
+        Ok(())
+    }));
+    let overlap = job.task(TaskSpec::new("overlapped").body(|ctx| {
+        let props = PropertySet::new().with_mode(AccessMode::Async);
+        let r = ctx.alloc(RegionType::GlobalScratch, props, 8 << 20)?;
+        let mut buf = vec![0u8; 1 << 20];
+        for i in 0..8u64 {
+            ctx.async_read(r, i * (1 << 20), &mut buf)?;
+            ctx.overlap_compute(WorkClass::Vector, 500_000);
+            ctx.wait_async();
+        }
+        Ok(())
+    }));
+    job.edge(crunch, thrash);
+    job.edge(crunch, overlap);
+
+    let report = rt.submit(job.build().expect("valid")).expect("runs");
+    let profile = report.profile();
+    println!("{}", profile.render());
+
+    let worst = profile.most_memory_bound().expect("tasks ran");
+    println!(
+        "tuning target: '{}' spends {:.0}% of its time stalled on memory",
+        worst.name,
+        worst.memory_fraction() * 100.0
+    );
+    assert_eq!(worst.name, "thrash");
+
+    let crunchy = profile.tasks.iter().find(|t| t.name == "crunch").unwrap();
+    println!(
+        "'{}' is {:.0}% pure compute — leave it alone",
+        crunchy.name,
+        crunchy.compute_fraction() * 100.0
+    );
+    assert!(crunchy.compute_fraction() > 0.9);
+}

@@ -1,0 +1,2 @@
+//! Facade re-exports live in `disagg-core`; this root crate hosts examples and integration tests.
+pub use disagg_core::*;

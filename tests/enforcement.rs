@@ -1,0 +1,250 @@
+//! Enforcement-path integration tests: the confidential encryption toll,
+//! copy_contents plumbing, and audit bookkeeping.
+
+use disagg_core::prelude::*;
+use disagg_hwsim::compute::{ComputeKind, ComputeModel};
+use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
+use disagg_hwsim::topology::{Endpoint, LinkKind, Topology};
+use disagg_region::region::OwnerId;
+
+/// A host whose *only* persistent device is NIC-attached far memory — so a
+/// persistent output is forced beyond the chassis trust boundary.
+fn host_with_only_remote_persistence() -> Topology {
+    let mut b = Topology::builder();
+    let n = b.node("host");
+    let blade = b.node("blade");
+    let cpu = b.compute(n, ComputeModel::preset(ComputeKind::Cpu));
+    let dram = b.mem(n, MemDeviceModel::preset(MemDeviceKind::Dram));
+    // A persistent far-memory blade (battery-backed) behind the NIC, with
+    // synchronous access allowed so an Output region can live there.
+    let mut far = MemDeviceModel::preset(MemDeviceKind::FarMemory);
+    far.persistent = true;
+    far.sync = disagg_hwsim::device::SyncSupport::Either;
+    let far = b.mem(blade, far);
+    b.link(cpu, dram, LinkKind::MemBus);
+    b.link(cpu, Endpoint::Hub(n), LinkKind::PcieCxl);
+    b.link(Endpoint::Hub(n), Endpoint::Hub(blade), LinkKind::Nic);
+    b.link(Endpoint::Hub(blade), far, LinkKind::MemBus);
+    b.build().expect("valid")
+}
+
+fn persist_job(confidential: bool, bytes: usize) -> JobSpec {
+    let mut j = JobBuilder::new(if confidential { "secret" } else { "plain" });
+    j.task(
+        TaskSpec::new("persist")
+            .confidential(confidential)
+            .persistent(true)
+            .output_bytes(bytes as u64)
+            .body(move |ctx| {
+                ctx.write_output(0, &vec![0xAAu8; bytes])?;
+                Ok(())
+            }),
+    );
+    j.build().expect("valid job")
+}
+
+#[test]
+fn confidential_data_beyond_the_trust_boundary_pays_the_crypto_toll() {
+    let bytes = 4 << 20;
+    let run = |confidential: bool| {
+        let mut rt = Runtime::new(
+            host_with_only_remote_persistence(),
+            RuntimeConfig::traced(),
+        );
+        let report = rt.submit(persist_job(confidential, bytes)).unwrap();
+        let t = &report.tasks[0];
+        // The output must be on the NIC-attached device either way.
+        let (_, _, dev) = t.placements.iter().find(|(k, _, _)| *k == "output").unwrap();
+        assert!(rt.topology().mem(*dev).persistent);
+        t.duration()
+    };
+    let plain = run(false);
+    let secret = run(true);
+    // 4 MiB of Crypto-class work at 2 ns/B on a CPU ≈ 8.4 ms extra.
+    let toll = secret.saturating_sub(plain);
+    assert!(
+        toll.as_nanos() > 5_000_000,
+        "crypto toll {toll} should be milliseconds for 4 MiB"
+    );
+}
+
+#[test]
+fn confidential_data_inside_the_chassis_pays_nothing() {
+    let (topo, _) = disagg_hwsim::presets::single_server();
+    let run = |confidential: bool| {
+        let mut rt = Runtime::new(topo.clone(), RuntimeConfig::traced());
+        let mut j = JobBuilder::new("x");
+        j.task(
+            TaskSpec::new("t")
+                .confidential(confidential)
+                .output_bytes(4 << 20)
+                .body(|ctx| {
+                    ctx.write_output(0, &vec![1u8; 4 << 20])?;
+                    Ok(())
+                }),
+        );
+        rt.submit(j.build().unwrap()).unwrap().tasks[0].duration()
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "PCIe/CXL devices are inside the trust boundary: no toll"
+    );
+}
+
+#[test]
+fn copy_contents_round_trips_across_devices() {
+    let (topo, ids) = disagg_hwsim::presets::single_server();
+    let mut mgr = disagg_region::RegionManager::new(&topo);
+    let a = mgr
+        .alloc(
+            ids.dram,
+            1 << 20,
+            RegionType::GlobalScratch,
+            PropertySet::new(),
+            OwnerId::App,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let b = mgr
+        .alloc(
+            ids.cxl,
+            2 << 20,
+            RegionType::GlobalScratch,
+            PropertySet::new(),
+            OwnerId::App,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let payload: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+    mgr.write(a, OwnerId::App, 0, &payload).unwrap();
+    let copied = mgr.copy_contents(a, b).unwrap();
+    assert_eq!(copied, 1 << 20);
+    let mut buf = vec![0u8; 1 << 20];
+    mgr.read(b, OwnerId::App, 0, &mut buf).unwrap();
+    assert_eq!(buf, payload);
+
+    // Too-small destination is rejected.
+    let tiny = mgr
+        .alloc(
+            ids.dram,
+            64,
+            RegionType::GlobalScratch,
+            PropertySet::new(),
+            OwnerId::App,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    assert!(mgr.copy_contents(a, tiny).is_err());
+}
+
+#[test]
+fn audit_counts_every_placement_in_a_run() {
+    let (topo, _) = disagg_hwsim::presets::single_server();
+    let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+    let mut j = JobBuilder::new("audited");
+    let a = j.task(
+        TaskSpec::new("a")
+            .private_scratch(4096)
+            .global_scratch(4096)
+            .output_bytes(4096)
+            .body(|_| Ok(())),
+    );
+    let b = j.task(TaskSpec::new("b").body(|_| Ok(())));
+    j.edge(a, b);
+    let spec = j.global_state(4096).build().unwrap();
+    let report = rt.submit(spec).unwrap();
+    // global state + scratch + gscratch + output = 4 placements audited.
+    assert_eq!(report.placements.len(), 4);
+    assert!(report.placements_clean());
+}
+
+#[test]
+fn persistent_outputs_are_replicated_across_failure_domains() {
+    // Two persistent failure domains: local PMem and a battery-backed
+    // far blade. With persistent_replicas = 2, a persistent result
+    // survives losing the primary's node.
+    let topo = {
+        let mut b = Topology::builder();
+        let host = b.node("host");
+        let blade = b.node("blade");
+        let cpu = b.compute(host, ComputeModel::preset(ComputeKind::Cpu));
+        let dram = b.mem(host, MemDeviceModel::preset(MemDeviceKind::Dram));
+        let pmem = b.mem(host, MemDeviceModel::preset(MemDeviceKind::Pmem));
+        let mut far = MemDeviceModel::preset(MemDeviceKind::FarMemory);
+        far.persistent = true;
+        far.sync = disagg_hwsim::device::SyncSupport::Either;
+        let far = b.mem(blade, far);
+        b.link(cpu, dram, LinkKind::MemBus);
+        b.link(cpu, pmem, LinkKind::MemBus);
+        b.link(cpu, Endpoint::Hub(host), LinkKind::PcieCxl);
+        b.link(Endpoint::Hub(host), Endpoint::Hub(blade), LinkKind::Nic);
+        b.link(Endpoint::Hub(blade), far, LinkKind::MemBus);
+        b.build().expect("valid")
+    };
+    let mut rt = Runtime::new(
+        topo,
+        RuntimeConfig::traced().with_persistent_replicas(2),
+    );
+    let mut j = JobBuilder::new("durable");
+    j.task(
+        TaskSpec::new("persist")
+            .persistent(true)
+            .output_bytes(4096)
+            .body(|ctx| {
+                ctx.write_output(0, b"must survive")?;
+                Ok(())
+            }),
+    );
+    let report = rt.submit(j.build().unwrap()).unwrap();
+    assert_eq!(report.persistent_replicas.len(), 1);
+    let (primary, copies) = &report.persistent_replicas[0];
+    assert_eq!(copies.len(), 1, "one extra copy requested");
+    // Replica is on a persistent device in a different failure domain.
+    let pdev = rt.manager().placement(*primary).unwrap().dev;
+    let cdev = rt.manager().placement(copies[0]).unwrap().dev;
+    assert!(rt.topology().mem(cdev).persistent);
+    assert_ne!(
+        rt.topology().node_of_mem(pdev),
+        rt.topology().node_of_mem(cdev),
+        "replica must live in another failure domain"
+    );
+    // Contents match.
+    let mut a = [0u8; 12];
+    let mut b = [0u8; 12];
+    rt.manager().read(*primary, OwnerId::App, 0, &mut a).unwrap();
+    rt.manager().read(copies[0], OwnerId::App, 0, &mut b).unwrap();
+    assert_eq!(&a, b"must survive");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn replication_degrades_gracefully_when_no_second_domain_exists() {
+    // A single-node host has one failure domain: the runtime keeps the
+    // primary and reports zero copies instead of failing.
+    use disagg_hwsim::compute::{ComputeKind, ComputeModel};
+    use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
+    let mut b = Topology::builder();
+    let n = b.node("host");
+    let cpu = b.compute(n, ComputeModel::preset(ComputeKind::Cpu));
+    let dram = b.mem(n, MemDeviceModel::preset(MemDeviceKind::Dram));
+    let pmem = b.mem(n, MemDeviceModel::preset(MemDeviceKind::Pmem));
+    b.link(cpu, dram, LinkKind::MemBus);
+    b.link(cpu, pmem, LinkKind::MemBus);
+    let topo = b.build().unwrap();
+
+    let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_persistent_replicas(3));
+    let mut j = JobBuilder::new("lonely");
+    j.task(
+        TaskSpec::new("persist")
+            .persistent(true)
+            .output_bytes(1024)
+            .body(|ctx| {
+                ctx.write_output(0, &[1u8; 64])?;
+                Ok(())
+            }),
+    );
+    let report = rt.submit(j.build().unwrap()).unwrap();
+    let (_, copies) = &report.persistent_replicas[0];
+    assert!(copies.is_empty(), "no second failure domain exists");
+}

@@ -1,0 +1,561 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use disagg_ftol::reedsolomon::ReedSolomon;
+use disagg_hwsim::compute::{ComputeKind, ComputeModel};
+use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
+use disagg_hwsim::presets::single_server;
+use disagg_hwsim::rng::SimRng;
+use disagg_hwsim::time::SimTime;
+use disagg_hwsim::topology::{LinkKind, Topology};
+use disagg_region::pool::MemoryPool;
+use disagg_region::props::{AccessMode, PropertySet};
+use disagg_region::region::{OwnerId, RegionManager};
+use disagg_region::typed::RegionType;
+use disagg_sched::placement::{PlacementEngine, PlacementPolicy};
+
+fn small_pool(cap: u64) -> (MemoryPool, disagg_hwsim::ids::MemDeviceId) {
+    let mut b = Topology::builder();
+    let n = b.node("host");
+    let cpu = b.compute(n, ComputeModel::preset(ComputeKind::Cpu));
+    let dram = b.mem(n, MemDeviceModel::preset_with_capacity(MemDeviceKind::Dram, cap));
+    b.link(cpu, dram, LinkKind::MemBus);
+    let topo = b.build().unwrap();
+    (MemoryPool::new(&topo), dram)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The allocator never double-allocates, never exceeds capacity, and
+    /// freeing everything restores the full arena.
+    #[test]
+    fn allocator_conserves_capacity(ops in vec((1u64..4096, any::<bool>()), 1..60)) {
+        let cap = 1 << 20;
+        let (mut pool, dev) = small_pool(cap);
+        let mut live: Vec<(disagg_region::RegionId, u64, u64)> = Vec::new();
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (id, _, _) = live.swap_remove(0);
+                pool.free(id).unwrap();
+            } else if let Ok(id) = pool.alloc(dev, size) {
+                let p = pool.placement(id).unwrap();
+                // No overlap with any live allocation.
+                for &(_, off, len) in &live {
+                    prop_assert!(p.offset + p.size <= off || off + len <= p.offset,
+                        "overlap: [{}, {}) vs [{}, {})", p.offset, p.offset + p.size, off, off + len);
+                }
+                live.push((id, p.offset, p.size));
+            }
+            let total: u64 = live.iter().map(|&(_, _, l)| l).sum();
+            prop_assert_eq!(pool.allocated(dev), total);
+            prop_assert!(total <= cap);
+        }
+        for (id, _, _) in live {
+            pool.free(id).unwrap();
+        }
+        prop_assert_eq!(pool.allocated(dev), 0);
+        prop_assert_eq!(pool.fragmentation(dev), 0.0);
+    }
+
+    /// Reed-Solomon reconstructs any erasure set of size ≤ m, for random
+    /// data, shard geometry, and erased positions.
+    #[test]
+    fn reed_solomon_recovers_any_m_erasures(
+        k in 2usize..8,
+        m in 1usize..4,
+        len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let mut rng = SimRng::new(seed);
+        let data: Vec<Vec<u8>> = (0..k).map(|_| {
+            let mut v = vec![0u8; len];
+            rng.fill_bytes(&mut v);
+            v
+        }).collect();
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+
+        // Erase m distinct random positions.
+        let mut positions: Vec<usize> = (0..k + m).collect();
+        rng.shuffle(&mut positions);
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        for &p in positions.iter().take(m) {
+            shards[p] = None;
+        }
+        rs.reconstruct(&mut shards).unwrap();
+        for i in 0..k + m {
+            prop_assert_eq!(shards[i].as_ref().unwrap(), &full[i], "shard {}", i);
+        }
+    }
+
+    /// Ownership transfer chains preserve contents exactly, and only the
+    /// final owner can read.
+    #[test]
+    fn transfer_chains_preserve_contents(
+        hops in 1u64..8,
+        payload in vec(any::<u8>(), 1..256),
+    ) {
+        let (topo, ids) = single_server();
+        let mut mgr = RegionManager::new(&topo);
+        let first = OwnerId::Task { job: 0, task: 0 };
+        let r = mgr.alloc(ids.dram, payload.len() as u64, RegionType::Output,
+            PropertySet::new(), first, SimTime::ZERO).unwrap();
+        mgr.write(r, first, 0, &payload).unwrap();
+        let mut owner = first;
+        for h in 1..=hops {
+            let next = OwnerId::Task { job: 0, task: h };
+            mgr.transfer(r, owner, next).unwrap();
+            owner = next;
+        }
+        let mut buf = vec![0u8; payload.len()];
+        mgr.read(r, owner, 0, &mut buf).unwrap();
+        prop_assert_eq!(buf, payload);
+        if hops > 0 {
+            let mut buf2 = vec![0u8; 1];
+            prop_assert!(mgr.read(r, first, 0, &mut buf2).is_err());
+        }
+    }
+
+    /// The placement engine never violates hard properties, whatever the
+    /// requested combination.
+    #[test]
+    fn placement_respects_hard_properties(
+        persistent in any::<bool>(),
+        coherent in any::<bool>(),
+        asynchronous in any::<bool>(),
+        size in 1u64..(1 << 30),
+    ) {
+        let (topo, ids) = single_server();
+        let pool = MemoryPool::new(&topo);
+        let mut engine = PlacementEngine::new(PlacementPolicy::Declarative);
+        let props = PropertySet::new()
+            .persistent(persistent)
+            .coherent(coherent)
+            .with_mode(if asynchronous { AccessMode::Async } else { AccessMode::Sync });
+        if let Some(dev) = engine.choose(&topo, &pool, ids.cpu, &props, size) {
+            let model = topo.mem(dev);
+            prop_assert!(!persistent || model.persistent);
+            prop_assert!(!coherent || model.coherent);
+            prop_assert!(asynchronous || model.sync.allows_sync());
+            let free = pool.capacity(dev) - pool.allocated(dev);
+            prop_assert!(free >= size);
+        }
+    }
+
+    /// Random DAGs always schedule with precedence respected.
+    #[test]
+    fn random_dags_schedule_with_precedence(
+        n in 2usize..20,
+        edge_seed in any::<u64>(),
+        density in 0.0f64..0.9,
+    ) {
+        use disagg_dataflow::{JobBuilder, TaskSpec};
+        use disagg_sched::schedule::{SchedPolicy, Scheduler};
+        use disagg_core::prelude::{JobId, WorkClass};
+
+        let mut rng = SimRng::new(edge_seed);
+        let mut job = JobBuilder::new("random");
+        let ids: Vec<_> = (0..n)
+            .map(|i| job.task(TaskSpec::new(format!("t{i}"))
+                .work(WorkClass::Scalar, 1 + rng.next_below(1_000_000))
+                .output_bytes(rng.next_below(1 << 20))))
+            .collect();
+        // Forward edges only → guaranteed acyclic.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.next_f64() < density {
+                    job.edge(ids[i], ids[j]);
+                }
+            }
+        }
+        let spec = job.build().unwrap();
+        let (topo, _) = single_server();
+        let sched = Scheduler::new(SchedPolicy::Heft)
+            .plan(&topo, &[(JobId(0), &spec)]).unwrap();
+        for &id in &ids {
+            for &s in spec.dag.successors(id) {
+                let a = sched.entry(JobId(0), id).unwrap();
+                let b = sched.entry(JobId(0), s).unwrap();
+                prop_assert!(a.est_finish <= b.est_start,
+                    "task {} must finish before {} starts", id, s);
+            }
+        }
+    }
+
+    /// Topology access costs are monotone in size and never negative.
+    #[test]
+    fn access_costs_are_monotone_in_size(
+        small in 1u64..(1 << 16),
+        factor in 2u64..16,
+    ) {
+        use disagg_hwsim::device::{AccessOp, AccessPattern};
+        let (topo, h) = single_server();
+        for dev in [h.dram, h.cxl, h.far, h.ssd] {
+            let a = topo.access_cost(h.cpu, dev, small, AccessOp::Read, AccessPattern::Sequential).unwrap();
+            let b = topo.access_cost(h.cpu, dev, small * factor, AccessOp::Read, AccessPattern::Sequential).unwrap();
+            prop_assert!(b >= a, "{dev:?}: {b:?} < {a:?} for larger size");
+        }
+    }
+
+    /// The contention ledger is monotone: a reservation never finishes
+    /// before it starts, and later identical reservations never finish
+    /// earlier than earlier ones.
+    #[test]
+    fn ledger_is_monotone(
+        reservations in vec((0u64..100_000, 1u64..100_000), 1..40),
+    ) {
+        use disagg_hwsim::contention::{BandwidthLedger, ResourceKey};
+        use disagg_hwsim::ids::MemDeviceId;
+        let mut ledger = BandwidthLedger::new(1_000);
+        let key = ResourceKey::Mem(MemDeviceId(0));
+        let mut sorted = reservations.clone();
+        sorted.sort();
+        let mut last_finish = SimTime::ZERO;
+        for (start, bytes) in sorted {
+            let fin = ledger.reserve(key, SimTime(start), bytes as f64, 10.0);
+            prop_assert!(fin >= SimTime(start));
+            prop_assert!(fin >= last_finish || fin >= SimTime(start),
+                "finishes should not regress arbitrarily");
+            last_finish = fin;
+        }
+    }
+
+    /// Region reads after writes round-trip at any offset (dense and
+    /// sparse backings).
+    #[test]
+    fn region_rw_round_trips(
+        region_mib in 1u64..129,
+        offset_frac in 0.0f64..0.95,
+        payload in vec(any::<u8>(), 1..512),
+    ) {
+        let (topo, ids) = single_server();
+        let mut mgr = RegionManager::new(&topo);
+        let size = region_mib << 20; // Crosses the 64 MiB dense/sparse divide.
+        let r = mgr.alloc(ids.cxl, size, RegionType::GlobalScratch,
+            PropertySet::new(), OwnerId::App, SimTime::ZERO).unwrap();
+        let offset = ((size - payload.len() as u64) as f64 * offset_frac) as u64;
+        mgr.write(r, OwnerId::App, offset, &payload).unwrap();
+        let mut buf = vec![0u8; payload.len()];
+        mgr.read(r, OwnerId::App, offset, &mut buf).unwrap();
+        prop_assert_eq!(buf, payload);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The striped heap conserves live objects through arbitrary
+    /// put/delete/compact sequences, and compaction always zeroes the
+    /// dead count.
+    #[test]
+    fn striped_heap_conserves_live_objects(
+        ops in vec((0u8..10, 1usize..400), 1..40),
+        seed in any::<u64>(),
+    ) {
+        use disagg_ftol::heap::StripedHeap;
+        use disagg_hwsim::contention::BandwidthLedger;
+        use disagg_hwsim::fault::FaultInjector;
+        use disagg_hwsim::presets::disaggregated_rack;
+
+        let (topo, rack) = disaggregated_rack(2, 32, 4, 64);
+        let mut mgr = RegionManager::new(&topo);
+        let mut ledger = BandwidthLedger::default_buckets();
+        let mut heap = StripedHeap::create(
+            &mut mgr, &topo, &rack.pool[..4], 16_000, 3, 1, OwnerId::App, SimTime::ZERO,
+        ).unwrap();
+        let calm = FaultInjector::none();
+        let mut rng = SimRng::new(seed);
+        let mut model: std::collections::BTreeMap<disagg_ftol::heap::ObjId, Vec<u8>> =
+            Default::default();
+
+        for (op, size) in ops {
+            match op {
+                0..=5 => {
+                    // Put (compact first if the tail is exhausted).
+                    let mut data = vec![0u8; size];
+                    rng.fill_bytes(&mut data);
+                    if heap.free_tail() < size as u64 {
+                        heap.compact(&mut mgr, &topo, &mut ledger, SimTime(1)).unwrap();
+                    }
+                    if heap.free_tail() >= size as u64 {
+                        let (id, _) = heap
+                            .put(&mut mgr, &topo, &mut ledger, &data, SimTime(1))
+                            .unwrap();
+                        model.insert(id, data);
+                    }
+                }
+                6..=8 => {
+                    // Delete a random live object.
+                    if let Some(&id) = model.keys().next() {
+                        heap.delete(id).unwrap();
+                        model.remove(&id);
+                    }
+                }
+                _ => {
+                    heap.compact(&mut mgr, &topo, &mut ledger, SimTime(1)).unwrap();
+                    prop_assert_eq!(heap.dead_bytes(), 0);
+                }
+            }
+            prop_assert_eq!(heap.len(), model.len());
+            prop_assert_eq!(
+                heap.live_bytes(),
+                model.values().map(|d| d.len() as u64).sum::<u64>()
+            );
+        }
+        // Every surviving object reads back exactly.
+        for (&id, data) in &model {
+            let (got, _, _) = heap
+                .get(&mgr, &topo, &mut ledger, &calm, id, SimTime(2))
+                .unwrap();
+            prop_assert_eq!(&got, data);
+        }
+    }
+
+    /// Tiering plans never violate declared properties, whatever the
+    /// hotness distribution: a persistent region never lands on volatile
+    /// memory, a sync region never on async-only storage.
+    #[test]
+    fn tiering_never_violates_properties(
+        heats in vec(0u32..60, 4..20),
+        seed in any::<u64>(),
+    ) {
+        use disagg_region::hotness::HotnessTracker;
+        use disagg_region::migrate::TieringPolicy;
+
+        let (topo, ids) = single_server();
+        let mut mgr = RegionManager::new(&topo);
+        let mut rng = SimRng::new(seed);
+        let mut tracker = HotnessTracker::new();
+        let homes = [ids.dram, ids.pmem, ids.cxl, ids.far, ids.ssd];
+        let mut regions = Vec::new();
+        for (i, &heat) in heats.iter().enumerate() {
+            // Mix persistent and volatile, sync and async regions.
+            let persistent = i % 3 == 0;
+            let asynchronous = i % 2 == 0;
+            let props = PropertySet::new()
+                .persistent(persistent)
+                .with_mode(if asynchronous { AccessMode::Async } else { AccessMode::Sync });
+            let home = if persistent {
+                if asynchronous { ids.ssd } else { ids.pmem }
+            } else {
+                homes[rng.next_below(3) as usize]
+            };
+            let r = mgr
+                .alloc(home, 4096, RegionType::GlobalScratch, props, OwnerId::App, SimTime::ZERO)
+                .unwrap();
+            for _ in 0..heat {
+                tracker.record(r, 64, SimTime(1));
+            }
+            regions.push(r);
+        }
+        let policy = TieringPolicy::by_latency(&topo);
+        for (id, target) in policy.plan(&mgr, &topo, &tracker) {
+            let meta = mgr.meta(id).unwrap();
+            let dev = topo.mem(target);
+            prop_assert!(!meta.props.persistent || dev.persistent,
+                "persistent region planned onto volatile {target:?}");
+            prop_assert!(
+                meta.props.mode != AccessMode::Sync || dev.sync.allows_sync(),
+                "sync region planned onto async-only {target:?}"
+            );
+        }
+    }
+
+    /// Admission control always runs every job exactly once, whatever
+    /// the demand mix and watermark.
+    #[test]
+    fn admission_runs_every_job_once(
+        demands in vec(1u64..(3 << 30), 1..8),
+        watermark in 0.3f64..1.0,
+    ) {
+        use disagg_core::prelude::*;
+        let (topo, _) = single_server();
+        let mut rt = Runtime::new(
+            topo,
+            RuntimeConfig::traced().with_admission(watermark),
+        );
+        let jobs: Vec<JobSpec> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let mut j = JobBuilder::new(format!("j{i}"));
+                j.task(
+                    TaskSpec::new("t")
+                        .private_scratch(d)
+                        .body(|ctx| {
+                            ctx.scratch_write(0, &[1u8; 16])?;
+                            Ok(())
+                        }),
+                );
+                j.build().unwrap()
+            })
+            .collect();
+        let n = jobs.len();
+        let report = rt.run(jobs).unwrap();
+        prop_assert_eq!(report.tasks.len(), n);
+        prop_assert_eq!(rt.manager().live_count(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The executor never panics on random jobs: it either runs them or
+    /// returns a structured error; afterwards only persistent outputs may
+    /// survive in the pool.
+    #[test]
+    fn executor_is_total_over_random_jobs(
+        n_tasks in 1usize..8,
+        seed in any::<u64>(),
+        density in 0.0f64..0.8,
+    ) {
+        use disagg_core::prelude::*;
+        use disagg_hwsim::compute::{ComputeKind, WorkClass};
+
+        let mut rng = SimRng::new(seed);
+        let (topo, _) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+
+        let mut job = JobBuilder::new("fuzz");
+        let mut ids = Vec::new();
+        let mut persistent_sinks = 0usize;
+        for i in 0..n_tasks {
+            let mut spec = TaskSpec::new(format!("t{i}"))
+                .work(WorkClass::Scalar, rng.next_below(1_000_000))
+                .body(|ctx| {
+                    if ctx.regions.output.is_some() {
+                        ctx.write_output(0, &[1u8; 16])?;
+                    }
+                    if ctx.regions.private_scratch.is_some() {
+                        ctx.scratch_write(0, &[2u8; 8])?;
+                    }
+                    Ok(())
+                });
+            if rng.chance(0.5) {
+                spec = spec.private_scratch(64 + rng.next_below(1 << 20));
+            }
+            if rng.chance(0.7) {
+                spec = spec.output_bytes(64 + rng.next_below(1 << 20));
+            }
+            if rng.chance(0.3) {
+                spec = spec.confidential(true);
+            }
+            let persistent = rng.chance(0.3);
+            if persistent {
+                spec = spec.persistent(true);
+            }
+            if rng.chance(0.3) {
+                spec = spec.on(if rng.chance(0.5) { ComputeKind::Gpu } else { ComputeKind::Cpu });
+            }
+            ids.push((job.task(spec), persistent));
+        }
+        let mut has_successor = vec![false; n_tasks];
+        for i in 0..n_tasks {
+            for j in (i + 1)..n_tasks {
+                if rng.next_f64() < density {
+                    job.edge(ids[i].0, ids[j].0);
+                    has_successor[i] = true;
+                }
+            }
+        }
+        // Persistent outputs that reach a successor are consumed, not
+        // retained; only terminal persistent outputs survive.
+        for (i, &(_, p)) in ids.iter().enumerate() {
+            if p && !has_successor[i] {
+                persistent_sinks += 1;
+            }
+        }
+
+        let spec = job.build().unwrap();
+        match rt.submit(spec) {
+            Ok(report) => {
+                prop_assert_eq!(report.tasks.len(), n_tasks);
+                // Persistent sinks with outputs survive; nothing else.
+                prop_assert!(rt.manager().live_count() <= persistent_sinks);
+            }
+            Err(e) => {
+                // Structured failure is acceptable (e.g. a task with a
+                // persistent+odd property mix); a panic is not.
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shortest-path resolution over random topologies is symmetric
+    /// (undirected links) and obeys the triangle inequality on latency.
+    #[test]
+    fn topology_paths_are_symmetric_and_triangular(
+        n_mem in 2usize..7,
+        extra_links in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        use disagg_hwsim::compute::{ComputeKind, ComputeModel};
+        use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
+        use disagg_hwsim::topology::{LinkKind, Topology};
+
+        let mut rng = SimRng::new(seed);
+        let mut b = Topology::builder();
+        let node = b.node("host");
+        let cpu = b.compute(node, ComputeModel::preset(ComputeKind::Cpu));
+        let kinds = [
+            MemDeviceKind::Dram,
+            MemDeviceKind::CxlDram,
+            MemDeviceKind::Pmem,
+            MemDeviceKind::Hbm,
+        ];
+        let mems: Vec<_> = (0..n_mem)
+            .map(|i| b.mem(node, MemDeviceModel::preset(kinds[i % kinds.len()])))
+            .collect();
+        // A spanning chain guarantees connectivity; extra random links
+        // create alternative routes.
+        b.link(cpu, mems[0], LinkKind::MemBus);
+        for w in mems.windows(2) {
+            b.link(w[0], w[1], LinkKind::PcieCxl);
+        }
+        for _ in 0..extra_links {
+            let a = mems[rng.next_below(n_mem as u64) as usize];
+            let c = mems[rng.next_below(n_mem as u64) as usize];
+            if a != c {
+                b.link_custom(
+                    a,
+                    c,
+                    LinkKind::Numa,
+                    10.0 + rng.next_f64() * 500.0,
+                    1.0 + rng.next_f64() * 100.0,
+                );
+            }
+        }
+        let topo = b.build().unwrap();
+
+        for &a in &mems {
+            for &c in &mems {
+                let ab = topo.mem_path(a, c).expect("connected");
+                let ba = topo.mem_path(c, a).expect("connected");
+                prop_assert!(
+                    (ab.latency_ns - ba.latency_ns).abs() < 1e-9,
+                    "asymmetric latency {a:?}→{c:?}: {} vs {}",
+                    ab.latency_ns,
+                    ba.latency_ns
+                );
+                for &via in &mems {
+                    let av = topo.mem_path(a, via).expect("connected");
+                    let vc = topo.mem_path(via, c).expect("connected");
+                    prop_assert!(
+                        ab.latency_ns <= av.latency_ns + vc.latency_ns + 1e-9,
+                        "triangle violated: {a:?}→{c:?} {} > via {via:?} {}",
+                        ab.latency_ns,
+                        av.latency_ns + vc.latency_ns
+                    );
+                }
+            }
+        }
+    }
+}
