@@ -1,20 +1,23 @@
-//! Criterion wrappers: one benchmark per paper artifact.
+//! Paper-artifact benchmarks: one entry per table/figure.
 //!
 //! Each bench runs the corresponding experiment in quick mode, so
 //! `cargo bench` both regenerates every table/figure and tracks how fast
-//! the simulator itself executes them.
+//! the simulator itself executes them. Uses the in-repo harness so the
+//! workspace builds offline with no external dependencies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn paper_artifacts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    for (id, runner) in disagg_bench::exp::all() {
-        g.bench_function(id, |b| b.iter(|| black_box(runner(true))));
-    }
-    g.finish();
-}
+use disagg_bench::harness::{bench_named, header, BenchOpts};
 
-criterion_group!(benches, paper_artifacts);
-criterion_main!(benches);
+fn main() {
+    header("paper artifacts (quick mode)");
+    let opts = BenchOpts {
+        max_iters: 10,
+        ..BenchOpts::default()
+    };
+    for (id, runner) in disagg_bench::exp::all() {
+        bench_named(&format!("paper/{id}"), opts, || {
+            black_box(runner(true));
+        });
+    }
+}

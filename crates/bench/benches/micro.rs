@@ -2,9 +2,9 @@
 //! allocation, the contention ledger, Reed-Solomon coding, scheduling,
 //! and an end-to-end job submission.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use disagg_bench::harness::{bench, bench_named, header, BenchOpts};
 use disagg_core::prelude::*;
 use disagg_ftol::reedsolomon::ReedSolomon;
 use disagg_hwsim::contention::{BandwidthLedger, ResourceKey};
@@ -17,89 +17,81 @@ use disagg_sched::cost::CostModel;
 use disagg_sched::enforce::xor_cipher;
 use disagg_workloads::hospital::{hospital_job, HospitalConfig};
 
-fn access_cost(c: &mut Criterion) {
+fn access_cost() {
     let (topo, h) = single_server();
-    c.bench_function("topology/access_cost", |b| {
-        b.iter(|| {
-            black_box(topo.access_cost(
-                black_box(h.cpu),
-                black_box(h.cxl),
-                black_box(1 << 20),
-                AccessOp::Read,
-                AccessPattern::Sequential,
-            ))
-        })
+    bench("topology/access_cost", || {
+        black_box(topo.access_cost(
+            black_box(h.cpu),
+            black_box(h.cxl),
+            black_box(1 << 20),
+            AccessOp::Read,
+            AccessPattern::Sequential,
+        ));
     });
 }
 
-fn cost_model_rank(c: &mut Criterion) {
+fn cost_model_rank() {
     let (topo, h) = single_server();
     let pool = MemoryPool::new(&topo);
     let model = CostModel::new();
     let props = disagg_region::props::PropertySet::new();
-    c.bench_function("cost/rank_all_devices", |b| {
-        b.iter(|| black_box(model.rank(&topo, &pool, h.cpu, &props, 1 << 20)))
+    bench("cost/rank_all_devices", || {
+        black_box(model.rank(&topo, &pool, h.cpu, &props, 1 << 20));
     });
 }
 
-fn pool_alloc_free(c: &mut Criterion) {
+fn pool_alloc_free() {
     let (topo, h) = single_server();
-    c.bench_function("pool/alloc_free_4k", |b| {
-        let mut pool = MemoryPool::new(&topo);
-        b.iter(|| {
-            let id = pool.alloc(h.dram, 4096).expect("alloc");
-            pool.free(id).expect("free");
-        })
+    let mut pool = MemoryPool::new(&topo);
+    bench("pool/alloc_free_4k", || {
+        let id = pool.alloc(h.dram, 4096).expect("alloc");
+        pool.free(id).expect("free");
     });
 }
 
-fn ledger_reserve(c: &mut Criterion) {
-    c.bench_function("ledger/reserve", |b| {
-        let mut ledger = BandwidthLedger::default_buckets();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 100;
-            black_box(ledger.reserve(
-                ResourceKey::Mem(MemDeviceId(0)),
-                SimTime(t),
-                4096.0,
-                100.0,
-            ))
-        })
+fn ledger_reserve() {
+    let mut ledger = BandwidthLedger::default_buckets();
+    let mut t = 0u64;
+    bench("ledger/reserve", || {
+        t += 100;
+        black_box(ledger.reserve(
+            ResourceKey::Mem(MemDeviceId(0)),
+            SimTime(t),
+            4096.0,
+            100.0,
+        ));
     });
 }
 
-fn reed_solomon(c: &mut Criterion) {
+fn reed_solomon() {
     let rs = ReedSolomon::new(4, 2).expect("params");
     let shards: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 64 << 10]).collect();
-    c.bench_function("rs/encode_4+2_64k", |b| {
-        b.iter(|| black_box(rs.encode(black_box(&shards)).expect("encode")))
+    bench("rs/encode_4+2_64k", || {
+        black_box(rs.encode(black_box(&shards)).expect("encode"));
     });
     let parity = rs.encode(&shards).expect("encode");
-    c.bench_function("rs/reconstruct_2_lost_64k", |b| {
-        b.iter(|| {
-            let mut set: Vec<Option<Vec<u8>>> = shards
-                .iter()
-                .cloned()
-                .map(Some)
-                .chain(parity.iter().cloned().map(Some))
-                .collect();
-            set[0] = None;
-            set[5] = None;
-            rs.reconstruct(&mut set).expect("reconstruct");
-            black_box(set)
-        })
+    bench("rs/reconstruct_2_lost_64k", || {
+        let mut set: Vec<Option<Vec<u8>>> = shards
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.iter().cloned().map(Some))
+            .collect();
+        set[0] = None;
+        set[5] = None;
+        rs.reconstruct(&mut set).expect("reconstruct");
+        black_box(set);
     });
 }
 
-fn cipher(c: &mut Criterion) {
+fn cipher() {
     let mut data = vec![0xABu8; 64 << 10];
-    c.bench_function("enforce/xor_cipher_64k", |b| {
-        b.iter(|| xor_cipher(black_box(&mut data), 0xDEAD_BEEF))
+    bench("enforce/xor_cipher_64k", || {
+        xor_cipher(black_box(&mut data), 0xDEAD_BEEF);
     });
 }
 
-fn schedule_dag(c: &mut Criterion) {
+fn schedule_dag() {
     use disagg_dataflow::{JobBuilder, TaskSpec};
     use disagg_sched::schedule::{SchedPolicy, Scheduler};
     let (topo, _) = single_server();
@@ -119,45 +111,41 @@ fn schedule_dag(c: &mut Criterion) {
         prev = Some(t);
     }
     let spec = job.build().expect("valid");
-    c.bench_function("sched/heft_100_tasks", |b| {
-        b.iter(|| {
-            black_box(
-                Scheduler::new(SchedPolicy::Heft)
-                    .plan(&topo, &[(JobId(0), &spec)])
-                    .expect("plan"),
-            )
-        })
+    bench("sched/heft_100_tasks", || {
+        black_box(
+            Scheduler::new(SchedPolicy::Heft)
+                .plan(&topo, &[(JobId(0), &spec)])
+                .expect("plan"),
+        );
     });
 }
 
-fn end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2e");
-    g.sample_size(10);
-    g.bench_function("hospital_job", |b| {
-        b.iter(|| {
-            let (topo, _) = single_server();
-            let mut rt = Runtime::new(topo, RuntimeConfig::default());
-            black_box(
-                rt.submit(hospital_job(HospitalConfig {
-                    frames: 2,
-                    ..HospitalConfig::default()
-                }))
-                .expect("runs"),
-            )
-        })
+fn end_to_end() {
+    let opts = BenchOpts {
+        max_iters: 10,
+        ..BenchOpts::default()
+    };
+    bench_named("e2e/hospital_job", opts, || {
+        let (topo, _) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        black_box(
+            rt.submit(hospital_job(HospitalConfig {
+                frames: 2,
+                ..HospitalConfig::default()
+            }))
+            .expect("runs"),
+        );
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    access_cost,
-    cost_model_rank,
-    pool_alloc_free,
-    ledger_reserve,
-    reed_solomon,
-    cipher,
-    schedule_dag,
-    end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    header("micro");
+    access_cost();
+    cost_model_rank();
+    pool_alloc_free();
+    ledger_reserve();
+    reed_solomon();
+    cipher();
+    schedule_dag();
+    end_to_end();
+}

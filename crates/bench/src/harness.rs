@@ -1,0 +1,89 @@
+//! Minimal, dependency-free micro-benchmark harness.
+//!
+//! `cargo bench` entry points use this instead of an external harness so
+//! the workspace builds with no crates.io dependencies. It follows the
+//! usual warmup + timed-batch shape: each benchmark body is run until
+//! either `max_iters` iterations or `max_time` wall-clock elapses, and
+//! per-iteration statistics are printed in a fixed-width table.
+
+use std::time::{Duration, Instant};
+
+/// Tunables for one benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOpts {
+    /// Untimed warmup iterations (amortizes cold caches / lazy init).
+    pub warmup_iters: u32,
+    /// Upper bound on timed iterations.
+    pub max_iters: u32,
+    /// Upper bound on total timed wall-clock.
+    pub max_time: Duration,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            warmup_iters: 3,
+            max_iters: 200,
+            max_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Summary of one benchmark: iteration count and per-iter latencies.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    pub iters: u32,
+    pub mean: Duration,
+    pub min: Duration,
+    pub max: Duration,
+}
+
+/// Times `body` under `opts` and returns the per-iteration stats.
+pub fn bench_with<F: FnMut()>(opts: BenchOpts, mut body: F) -> BenchStats {
+    for _ in 0..opts.warmup_iters {
+        body();
+    }
+    let mut iters = 0u32;
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    while iters < opts.max_iters && total < opts.max_time {
+        let t = Instant::now();
+        body();
+        let d = t.elapsed();
+        total += d;
+        min = min.min(d);
+        max = max.max(d);
+        iters += 1;
+    }
+    BenchStats {
+        iters,
+        mean: total / iters.max(1),
+        min,
+        max,
+    }
+}
+
+/// Runs `body` under default opts and prints one table row for `name`.
+pub fn bench<F: FnMut()>(name: &str, body: F) -> BenchStats {
+    bench_named(name, BenchOpts::default(), body)
+}
+
+/// Like [`bench`] but with explicit opts.
+pub fn bench_named<F: FnMut()>(name: &str, opts: BenchOpts, body: F) -> BenchStats {
+    let stats = bench_with(opts, body);
+    println!(
+        "{name:<34} {:>6} iters  mean {:>12?}  min {:>12?}  max {:>12?}",
+        stats.iters, stats.mean, stats.min, stats.max
+    );
+    stats
+}
+
+/// Prints the standard header line for a benchmark table.
+pub fn header(title: &str) {
+    println!("== {title} ==");
+    println!(
+        "{:<34} {:>12} {:>17} {:>16} {:>16}",
+        "benchmark", "iterations", "mean", "min", "max"
+    );
+}

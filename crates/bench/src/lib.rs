@@ -24,6 +24,7 @@
 //! | [`exp::ablation`] | design-choice ablations | `exp_ablation` |
 
 pub mod exp;
+pub mod harness;
 
 use disagg_hwsim::time::SimDuration;
 

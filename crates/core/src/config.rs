@@ -4,7 +4,7 @@ use disagg_hwsim::fault::FaultInjector;
 use disagg_sched::cost::TopologyAwareness;
 use disagg_sched::lifetime::HandoverPolicy;
 use disagg_sched::placement::PlacementPolicy;
-use disagg_sched::schedule::SchedPolicy;
+use disagg_sched::schedule::{QueuePolicy, SchedPolicy};
 
 /// Configuration for a [`crate::Runtime`].
 ///
@@ -18,6 +18,9 @@ pub struct RuntimeConfig {
     pub placement: PlacementPolicy,
     /// How tasks are assigned to compute devices.
     pub sched: SchedPolicy,
+    /// How each device's ready queue orders dispatch when several
+    /// assigned tasks are ready at once (out-of-order executor).
+    pub queue: QueuePolicy,
     /// How outputs reach successors (transfer vs copy).
     pub handover: HandoverPolicy,
     /// Cost-model topology awareness (ablation).
@@ -43,6 +46,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             placement: PlacementPolicy::default(),
             sched: SchedPolicy::default(),
+            queue: QueuePolicy::default(),
             handover: HandoverPolicy::default(),
             awareness: TopologyAwareness::default(),
             trace: false,
@@ -83,6 +87,12 @@ impl RuntimeConfig {
     /// Sets the scheduling policy.
     pub fn with_sched(mut self, s: SchedPolicy) -> Self {
         self.sched = s;
+        self
+    }
+
+    /// Sets the device ready-queue dispatch policy.
+    pub fn with_queue(mut self, q: QueuePolicy) -> Self {
+        self.queue = q;
         self
     }
 

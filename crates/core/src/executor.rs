@@ -1,0 +1,797 @@
+//! The discrete-event, out-of-order executor.
+//!
+//! [`run_wave`] drives one admission wave of jobs through virtual time
+//! as a proper event simulation instead of a serial drain:
+//!
+//! - an **event heap** keyed on [`SimTime`] orders everything that can
+//!   change executor state: a job arriving, a dataflow edge being
+//!   satisfied (output handed over / transfer complete), a compute lane
+//!   freeing up;
+//! - **dependency counting** over [`disagg_dataflow::graph::Dag`]
+//!   in-degrees moves a task into its assigned device's **ready queue**
+//!   the instant its last incoming edge is satisfied;
+//! - each compute device **dispatches** queued tasks into free lanes
+//!   according to the configured [`QueuePolicy`] (the scheduler's cost
+//!   model feeds the default rank order);
+//! - compute and region transfer **overlap**: a producer's successors
+//!   are unblocked by per-edge events (pipelined early for streaming
+//!   pairs), so independent DAG branches advance concurrently on
+//!   different devices while transfers are still in flight elsewhere.
+//!
+//! Determinism: the heap breaks time ties by a monotone sequence
+//! number, queue pops break policy ties by (queue time, job, task), and
+//! the bandwidth ledger is charged in event order — two runs of the
+//! same submission produce identical reports.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use disagg_dataflow::ctx::{Placer, TaskCtx, TaskRegions};
+use disagg_dataflow::job::{JobId, JobSpec};
+use disagg_dataflow::task::TaskId;
+use disagg_hwsim::compute::WorkClass;
+use disagg_hwsim::contention::ResourceKey;
+use disagg_hwsim::ids::{ComputeId, MemDeviceId};
+use disagg_hwsim::time::{SimDuration, SimTime};
+use disagg_hwsim::topology::Topology;
+use disagg_hwsim::trace::TraceEvent;
+use disagg_region::access::Accessor;
+use disagg_region::pool::{MemoryPool, RegionId};
+use disagg_region::props::PropertySet;
+use disagg_region::region::OwnerId;
+use disagg_region::typed::RegionType;
+use disagg_sched::enforce::needs_encryption;
+use disagg_sched::placement::PlacementEngine;
+use disagg_sched::schedule::{QueuePolicy, Schedule, Scheduler};
+
+use crate::error::DisaggError;
+use crate::report::{DeviceSummary, RunReport, TaskReport};
+use crate::runtime::Runtime;
+
+/// Streaming producers release their first chunk after 1/DEPTH of their
+/// runtime: a streaming consumer on a pure ownership-transfer edge may
+/// start that early instead of waiting for the whole batch — the
+/// paper's stream-vs-batch property made operational.
+pub(crate) const PIPELINE_DEPTH: u64 = 8;
+
+/// Adapter exposing the placement engine as the programming model's
+/// [`Placer`] trait (for ad-hoc allocations inside task bodies).
+struct EnginePlacer<'e> {
+    engine: &'e mut PlacementEngine,
+}
+
+impl Placer for EnginePlacer<'_> {
+    fn place(
+        &mut self,
+        topo: &Topology,
+        pool: &MemoryPool,
+        compute: ComputeId,
+        props: &PropertySet,
+        size: u64,
+    ) -> Option<MemDeviceId> {
+        self.engine.choose(topo, pool, compute, props, size)
+    }
+}
+
+/// What can happen at an instant of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A task with no (remaining) prerequisites becomes ready: sources
+    /// fire this at their job's arrival time.
+    Ready { ji: usize, task: TaskId },
+    /// One incoming dataflow edge of a task was satisfied (the
+    /// producer's output is transferred/copied and addressable).
+    EdgeDone { ji: usize, task: TaskId },
+    /// A lane on a compute device became free.
+    LaneFree { compute: ComputeId },
+}
+
+/// A task waiting in a device's ready queue.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    ji: usize,
+    task: TaskId,
+    queued_at: SimTime,
+    /// Upward rank from the schedule (cost-model priority).
+    rank: f64,
+    /// Estimated duration from the schedule (for shortest-first).
+    est: SimDuration,
+}
+
+/// Mutable per-wave state threaded through the event loop.
+struct Wave {
+    job_ids: Vec<JobId>,
+    schedule: Schedule,
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventKind)>>,
+    seq: u64,
+    /// Unsatisfied incoming-edge counts, per job then task.
+    deps_left: Vec<Vec<usize>>,
+    /// Per-device ready queues.
+    queues: Vec<Vec<Queued>>,
+    /// Per-device lane free times.
+    lane_free: Vec<Vec<SimTime>>,
+    /// Task-exit cleanup deferred until virtual time passes the task's
+    /// finish: tasks overlapping in virtual time must have overlapping
+    /// footprints in the pool.
+    pending_exits: Vec<(SimTime, OwnerId)>,
+    /// Handed-over input regions awaiting each consumer.
+    inputs: HashMap<(usize, TaskId), Vec<RegionId>>,
+    start_at: HashMap<(usize, TaskId), SimTime>,
+    finish_at: HashMap<(usize, TaskId), SimTime>,
+    /// Job-scoped published-region maps.
+    published: Vec<HashMap<String, RegionId>>,
+    global_state: Vec<Option<RegionId>>,
+    report: RunReport,
+}
+
+impl Wave {
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        self.heap.push(Reverse((at, self.seq, kind)));
+        self.seq += 1;
+    }
+}
+
+/// Runs one admission wave (the whole batch when admission is off).
+/// `offsets` are per-job arrival delays relative to the wave start.
+pub(crate) fn run_wave(
+    rt: &mut Runtime,
+    jobs: Vec<JobSpec>,
+    offsets: Vec<SimDuration>,
+) -> Result<RunReport, DisaggError> {
+    let t0 = rt.clock;
+    let trace_mark = rt.trace.len();
+    // Report only this run's audit findings, not the runtime's whole
+    // history.
+    let audit_mark = rt.auditor.violations.len();
+    let denial_mark = rt.auditor.denials;
+    let job_ids: Vec<JobId> = jobs
+        .iter()
+        .map(|_| {
+            let id = JobId(rt.next_job);
+            rt.next_job += 1;
+            id
+        })
+        .collect();
+    let pairs: Vec<(JobId, &JobSpec)> = job_ids.iter().copied().zip(jobs.iter()).collect();
+    let schedule = Scheduler::new(rt.config.sched).plan(&rt.topo, &pairs)?;
+
+    // Job-wide global state, placed where every assigned device can
+    // address it.
+    let mut global_state: Vec<Option<RegionId>> = vec![None; jobs.len()];
+    for (ji, (&jid, spec)) in job_ids.iter().zip(jobs.iter()).enumerate() {
+        if spec.global_state_bytes == 0 {
+            continue;
+        }
+        let mut computes: Vec<ComputeId> = (0..spec.tasks.len())
+            .filter_map(|t| schedule.assignment(jid, TaskId(t as u32)))
+            .collect();
+        computes.dedup();
+        let props = RegionType::GlobalState.properties();
+        let dev = rt
+            .engine
+            .choose_shared(&rt.topo, rt.mgr.pool(), &computes, &props, spec.global_state_bytes)
+            .ok_or(DisaggError::Placement {
+                job: jid,
+                task: TaskId(0),
+                what: "global state",
+            })?;
+        let id = rt.mgr.alloc(
+            dev,
+            spec.global_state_bytes,
+            RegionType::GlobalState,
+            props.clone(),
+            OwnerId::Job(jid.0),
+            t0,
+        )?;
+        rt.auditor
+            .check_placement(&rt.topo, computes[0], id, dev, &props);
+        rt.trace.push(TraceEvent::Alloc {
+            region: id.0,
+            dev,
+            bytes: spec.global_state_bytes,
+            at: t0,
+        });
+        global_state[ji] = Some(id);
+    }
+
+    let mut w = Wave {
+        job_ids,
+        schedule,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        deps_left: jobs.iter().map(|s| s.dag.indegrees()).collect(),
+        queues: vec![Vec::new(); rt.topo.compute_devices().len()],
+        lane_free: rt
+            .topo
+            .compute_devices()
+            .iter()
+            .map(|m| vec![t0; m.slots as usize])
+            .collect(),
+        pending_exits: Vec::new(),
+        inputs: HashMap::new(),
+        start_at: HashMap::new(),
+        finish_at: HashMap::new(),
+        published: jobs.iter().map(|_| HashMap::new()).collect(),
+        global_state,
+        report: RunReport::default(),
+    };
+
+    // Seed the frontier: source tasks become ready when their job
+    // arrives.
+    for (ji, spec) in jobs.iter().enumerate() {
+        let arrival = t0 + offsets[ji];
+        for task in spec.dag.frontier() {
+            w.push_event(arrival, EventKind::Ready { ji, task });
+        }
+    }
+
+    // The event loop: strictly non-decreasing virtual time.
+    while let Some(Reverse((at, _, kind))) = w.heap.pop() {
+        match kind {
+            EventKind::Ready { ji, task } => enqueue(rt, &mut w, &jobs, ji, task, at)?,
+            EventKind::EdgeDone { ji, task } => {
+                let left = &mut w.deps_left[ji][task.index()];
+                *left -= 1;
+                if *left == 0 {
+                    enqueue(rt, &mut w, &jobs, ji, task, at)?;
+                }
+            }
+            EventKind::LaneFree { compute } => service(rt, &mut w, &jobs, compute, at)?,
+        }
+    }
+    let total: usize = jobs.iter().map(|s| s.tasks.len()).sum();
+    assert_eq!(
+        w.report.tasks.len(),
+        total,
+        "event heap drained with tasks unrun; DAG validation should prevent this"
+    );
+
+    // End of wave: flush the remaining task exits in time order, then
+    // release job-scoped regions; App-scoped (persistent) regions
+    // survive.
+    w.pending_exits.sort_by_key(|&(t, _)| t);
+    for (t, who_exited) in w.pending_exits.drain(..) {
+        rt.lifetime.task_exit(&mut rt.mgr, &mut rt.trace, who_exited, t);
+    }
+    for &jid in &w.job_ids {
+        let _ = rt.mgr.release_all(OwnerId::Job(jid.0));
+    }
+
+    // Feed the wave's accesses into the hotness tracker (one decay tick
+    // per wave so old heat fades).
+    rt.hotness.decay();
+    for e in &rt.trace.events()[trace_mark..] {
+        match *e {
+            TraceEvent::Access { region, bytes, at, .. } => {
+                rt.hotness.record(RegionId(region), bytes, at);
+            }
+            TraceEvent::Free { region, .. } => {
+                rt.hotness.forget(RegionId(region));
+            }
+            _ => {}
+        }
+    }
+
+    let end = w.finish_at.values().copied().fold(t0, SimTime::max);
+    rt.clock = end;
+    let mut report = w.report;
+    report.makespan = end - t0;
+    report.bytes_moved = rt.trace.bytes_moved();
+    report.bytes_ownership_transferred = rt.trace.bytes_transferred_by_ownership();
+    report.placements = std::mem::take(&mut rt.engine.decisions);
+    report.violations = rt.auditor.violations[audit_mark..].to_vec();
+    report.denials = rt.auditor.denials - denial_mark;
+    report.devices = rt
+        .topo
+        .mem_ids()
+        .map(|dev| DeviceSummary {
+            dev,
+            peak_bytes: rt.mgr.pool().peak(dev),
+            capacity: rt.mgr.pool().capacity(dev),
+            bytes_transferred: rt.ledger.stats(ResourceKey::Mem(dev)).bytes,
+        })
+        .collect();
+    report.tasks.sort_by_key(|t| (t.finish, t.job, t.task));
+    Ok(report)
+}
+
+/// A ready task joins its assigned device's queue (rerouted if the
+/// node is down), then the device tries to dispatch.
+fn enqueue(
+    rt: &mut Runtime,
+    w: &mut Wave,
+    jobs: &[JobSpec],
+    ji: usize,
+    task: TaskId,
+    at: SimTime,
+) -> Result<(), DisaggError> {
+    let jid = w.job_ids[ji];
+    let entry = *w.schedule.entry(jid, task).expect("every task is scheduled");
+    let tspec = &jobs[ji].tasks[task.index()];
+
+    // Fault-aware admission: fall back to any live eligible device if
+    // the assigned one's node is down at ready time.
+    let mut compute = entry.compute;
+    if rt
+        .config
+        .faults
+        .node_down(rt.topo.node_of_compute(compute), at)
+    {
+        compute = rt
+            .topo
+            .compute_ids()
+            .find(|&c| {
+                tspec.compute.allows(rt.topo.compute(c).kind)
+                    && !rt.config.faults.node_down(rt.topo.node_of_compute(c), at)
+            })
+            .ok_or(DisaggError::NoComputeAvailable { job: jid, task })?;
+    }
+
+    rt.trace.push(TraceEvent::TaskQueued {
+        job: jid.0,
+        task: task.0 as u64,
+        on: compute,
+        at,
+    });
+    w.queues[compute.index()].push(Queued {
+        ji,
+        task,
+        queued_at: at,
+        rank: entry.rank,
+        est: entry.est_duration(),
+    });
+    service(rt, w, jobs, compute, at)
+}
+
+/// Picks the queue index to dispatch next under a policy. Ties always
+/// fall back to (queue time, job, task) so dispatch is deterministic.
+fn pick(queue: &[Queued], policy: QueuePolicy) -> usize {
+    let tiebreak = |q: &Queued| (q.queued_at, q.ji, q.task);
+    let best = match policy {
+        QueuePolicy::CostRank => queue.iter().enumerate().min_by(|(_, a), (_, b)| {
+            b.rank
+                .total_cmp(&a.rank)
+                .then_with(|| tiebreak(a).cmp(&tiebreak(b)))
+        }),
+        QueuePolicy::Fifo => queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| tiebreak(q)),
+        QueuePolicy::ShortestFirst => queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.est.cmp(&b.est).then_with(|| tiebreak(a).cmp(&tiebreak(b)))),
+    };
+    best.map(|(i, _)| i).expect("queue is non-empty")
+}
+
+/// Dispatches queued tasks into free lanes until the device runs out
+/// of either.
+fn service(
+    rt: &mut Runtime,
+    w: &mut Wave,
+    jobs: &[JobSpec],
+    compute: ComputeId,
+    now: SimTime,
+) -> Result<(), DisaggError> {
+    loop {
+        if w.queues[compute.index()].is_empty() {
+            return Ok(());
+        }
+        let Some(lane) = w.lane_free[compute.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f <= now)
+            .min_by_key(|&(i, &f)| (f, i))
+            .map(|(i, _)| i)
+        else {
+            return Ok(());
+        };
+        let qi = pick(&w.queues[compute.index()], rt.config.queue);
+        let q = w.queues[compute.index()].remove(qi);
+        run_task(rt, w, jobs, q, compute, lane, now)?;
+    }
+}
+
+/// Executes one task at `start`: allocates its declared regions, runs
+/// the body against the virtual clock, survives mid-task crashes, then
+/// hands its output over to successors and emits their edge events.
+#[allow(clippy::too_many_lines)]
+fn run_task(
+    rt: &mut Runtime,
+    w: &mut Wave,
+    jobs: &[JobSpec],
+    q: Queued,
+    mut compute: ComputeId,
+    lane: usize,
+    start: SimTime,
+) -> Result<(), DisaggError> {
+    let ji = q.ji;
+    let task = q.task;
+    let jid = w.job_ids[ji];
+    let spec = &jobs[ji];
+    let tspec = &spec.tasks[task.index()];
+    let eff = tspec.props.effective(&spec.defaults);
+    let who = OwnerId::Task {
+        job: jid.0,
+        task: task.0 as u64,
+    };
+
+    rt.trace.push(TraceEvent::TaskDispatch {
+        job: jid.0,
+        task: task.0 as u64,
+        on: compute,
+        at: start,
+        waited: start - q.queued_at,
+    });
+
+    // Flush exits whose virtual finish precedes this start: their
+    // regions are genuinely gone by the time this task allocates.
+    w.pending_exits.sort_by_key(|&(t, _)| t);
+    while let Some(&(t, who_exited)) = w.pending_exits.first() {
+        if t <= start {
+            rt.lifetime.task_exit(&mut rt.mgr, &mut rt.trace, who_exited, t);
+            w.pending_exits.remove(0);
+        } else {
+            break;
+        }
+    }
+
+    // --- Region allocation, by declared properties. ---
+    let mut placements: Vec<(&'static str, RegionId, MemDeviceId)> = Vec::new();
+    let mut regions = TaskRegions {
+        inputs: w.inputs.remove(&(ji, task)).unwrap_or_default(),
+        global_state: w.global_state[ji],
+        ..TaskRegions::default()
+    };
+
+    if tspec.private_scratch > 0 {
+        let mut props = RegionType::PrivateScratch.properties();
+        if let Some(latency) = eff.mem_latency {
+            props.latency = latency;
+        }
+        props.confidential = eff.confidential;
+        let dev = rt
+            .engine
+            .choose(&rt.topo, rt.mgr.pool(), compute, &props, tspec.private_scratch)
+            .ok_or(DisaggError::Placement { job: jid, task, what: "private scratch" })?;
+        let id = rt.mgr.alloc(
+            dev,
+            tspec.private_scratch,
+            RegionType::PrivateScratch,
+            props.clone(),
+            who,
+            start,
+        )?;
+        rt.auditor.check_placement(&rt.topo, compute, id, dev, &props);
+        rt.trace.push(TraceEvent::Alloc { region: id.0, dev, bytes: tspec.private_scratch, at: start });
+        placements.push(("private_scratch", id, dev));
+        regions.private_scratch = Some(id);
+    }
+
+    if tspec.output_bytes > 0 {
+        let mut props = RegionType::Output.properties();
+        props.persistent = eff.persistent;
+        props.confidential = eff.confidential;
+        // Co-placement: every consumer must be able to address the
+        // output for handover to be a pure transfer.
+        let mut accessors = vec![compute];
+        for &s in spec.dag.successors(task) {
+            if let Some(c) = w.schedule.assignment(jid, s) {
+                if !accessors.contains(&c) {
+                    accessors.push(c);
+                }
+            }
+        }
+        let dev = rt
+            .engine
+            .choose_shared(&rt.topo, rt.mgr.pool(), &accessors, &props, tspec.output_bytes)
+            .or_else(|| {
+                // Fall back to producer-only placement (handover will
+                // copy).
+                rt.engine
+                    .choose(&rt.topo, rt.mgr.pool(), compute, &props, tspec.output_bytes)
+            })
+            .ok_or(DisaggError::Placement { job: jid, task, what: "output" })?;
+        let id = rt.mgr.alloc(
+            dev,
+            tspec.output_bytes,
+            RegionType::Output,
+            props.clone(),
+            who,
+            start,
+        )?;
+        rt.auditor.check_placement(&rt.topo, compute, id, dev, &props);
+        rt.trace.push(TraceEvent::Alloc { region: id.0, dev, bytes: tspec.output_bytes, at: start });
+        placements.push(("output", id, dev));
+        regions.output = Some(id);
+    }
+
+    if tspec.global_scratch > 0 {
+        let mut props = RegionType::GlobalScratch.properties();
+        props.confidential = eff.confidential;
+        let mut computes: Vec<ComputeId> = (0..spec.tasks.len())
+            .filter_map(|t| w.schedule.assignment(jid, TaskId(t as u32)))
+            .collect();
+        computes.dedup();
+        let dev = rt
+            .engine
+            .choose_shared(&rt.topo, rt.mgr.pool(), &computes, &props, tspec.global_scratch)
+            .ok_or(DisaggError::Placement { job: jid, task, what: "global scratch" })?;
+        let id = rt.mgr.alloc(
+            dev,
+            tspec.global_scratch,
+            RegionType::GlobalScratch,
+            props.clone(),
+            who,
+            start,
+        )?;
+        rt.auditor.check_placement(&rt.topo, compute, id, dev, &props);
+        rt.trace.push(TraceEvent::Alloc { region: id.0, dev, bytes: tspec.global_scratch, at: start });
+        placements.push(("global_scratch", id, dev));
+        regions.global_scratch = Some(id);
+    }
+
+    // --- Execute the body. ---
+    let launch = SimDuration::from_nanos_f64(rt.topo.compute(compute).launch_overhead_ns);
+    rt.trace.push(TraceEvent::TaskStart {
+        job: jid.0,
+        task: task.0 as u64,
+        on: compute,
+        at: start,
+    });
+    let regions_snapshot = regions.clone();
+    let (finish, stats, body_result) = {
+        let mut acc = Accessor::new(
+            &rt.topo,
+            &mut rt.ledger,
+            &mut rt.mgr,
+            &mut rt.trace,
+            compute,
+            who,
+            start + launch,
+        );
+        let mut placer = EnginePlacer { engine: &mut rt.engine };
+        let mut ctx = TaskCtx::new(
+            &mut acc,
+            regions.clone(),
+            &mut placer,
+            &mut w.published[ji],
+            &mut rt.app_published,
+        );
+        let result = (tspec.body)(&mut ctx);
+        (acc.now, acc.stats, result)
+    };
+
+    // Mid-task crash recovery: if the node executing this task died
+    // while it ran, the attempt is lost. Task bodies are re-runnable
+    // (`Fn`), so re-place on a surviving device and execute again — the
+    // makespan pays for both attempts.
+    let (finish, stats, body_result) = {
+        let my_node = rt.topo.node_of_compute(compute);
+        let crashed_midway = rt
+            .config
+            .faults
+            .events_between(start, finish)
+            .iter()
+            .any(|e| {
+                matches!(e.kind,
+                    disagg_hwsim::fault::FaultKind::NodeCrash(n) if n == my_node)
+            });
+        if crashed_midway && body_result.is_ok() {
+            let crash_at = rt
+                .config
+                .faults
+                .first_node_crash(my_node)
+                .expect("crash detected above")
+                .max(start);
+            let replacement = rt
+                .topo
+                .compute_ids()
+                .find(|&c| {
+                    tspec.compute.allows(rt.topo.compute(c).kind)
+                        && !rt
+                            .config
+                            .faults
+                            .node_down(rt.topo.node_of_compute(c), crash_at)
+                })
+                .ok_or(DisaggError::NoComputeAvailable { job: jid, task })?;
+            compute = replacement;
+            let relaunch =
+                SimDuration::from_nanos_f64(rt.topo.compute(compute).launch_overhead_ns);
+            let mut acc = Accessor::new(
+                &rt.topo,
+                &mut rt.ledger,
+                &mut rt.mgr,
+                &mut rt.trace,
+                compute,
+                who,
+                crash_at + relaunch,
+            );
+            let mut placer = EnginePlacer { engine: &mut rt.engine };
+            let mut ctx = TaskCtx::new(
+                &mut acc,
+                regions,
+                &mut placer,
+                &mut w.published[ji],
+                &mut rt.app_published,
+            );
+            let result = (tspec.body)(&mut ctx);
+            (acc.now, acc.stats, result)
+        } else {
+            (finish, stats, body_result)
+        }
+    };
+    if let Err(error) = body_result {
+        // Record the denial if it was a confidentiality rejection.
+        if error.0.contains("confidential") {
+            rt.auditor.record_denial(RegionId(u64::MAX), None, Some(jid.0));
+        }
+        return Err(DisaggError::Task {
+            job: jid,
+            task,
+            name: tspec.name.clone(),
+            error,
+        });
+    }
+
+    // Confidential data leaving the trust boundary pays the encryption
+    // toll on every written byte.
+    let mut finish = finish;
+    if eff.confidential {
+        let crypto_bytes: u64 = placements
+            .iter()
+            .filter(|(_, _, dev)| needs_encryption(&rt.topo, *dev))
+            .map(|_| stats.bytes_written)
+            .sum();
+        if crypto_bytes > 0 {
+            finish += rt
+                .topo
+                .compute(compute)
+                .exec_cost(WorkClass::Crypto, crypto_bytes);
+        }
+    }
+
+    rt.trace.push(TraceEvent::TaskFinish {
+        job: jid.0,
+        task: task.0 as u64,
+        on: compute,
+        at: finish,
+    });
+    // A crash retry may have moved the task to a device with fewer
+    // lanes; clamp the lane index before booking, and free the lane by
+    // event so queued work dispatches the instant it opens.
+    let lane = lane.min(w.lane_free[compute.index()].len() - 1);
+    w.lane_free[compute.index()][lane] = finish;
+    w.push_event(finish, EventKind::LaneFree { compute });
+    w.start_at.insert((ji, task), start);
+    w.finish_at.insert((ji, task), finish);
+
+    // --- Handover to successors: emit one EdgeDone per outgoing edge
+    // at the instant the consumer can actually address the data. ---
+    let succs = spec.dag.successors(task).to_vec();
+    if let Some(out) = regions_snapshot.output {
+        if succs.is_empty() {
+            if eff.persistent {
+                // Persistent results outlive the job (App scope).
+                rt.mgr.transfer(out, who, OwnerId::App)?;
+                // Fault tolerance: keep extra copies on persistent
+                // devices in other failure domains.
+                if rt.config.persistent_replicas > 1 {
+                    let copies = rt.replicate_persistent(
+                        out,
+                        compute,
+                        rt.config.persistent_replicas - 1,
+                        finish,
+                    )?;
+                    w.report.persistent_replicas.push((out, copies));
+                }
+            }
+        } else {
+            // Copies for fan-out consumers beyond the first...
+            for &s in &succs[1..] {
+                let cons = w.schedule.assignment(jid, s).unwrap_or(compute);
+                let to = OwnerId::Task { job: jid.0, task: s.0 as u64 };
+                let o = rt
+                    .lifetime
+                    .copy_to(
+                        &mut rt.mgr,
+                        &rt.topo,
+                        &mut rt.ledger,
+                        &mut rt.trace,
+                        &mut rt.engine,
+                        out,
+                        None,
+                        to,
+                        cons,
+                        finish,
+                    )
+                    .map_err(DisaggError::Region)?;
+                w.report.handover_copies += 1;
+                w.inputs.entry((ji, s)).or_default().push(o.region);
+                w.push_event(finish + o.took, EventKind::EdgeDone { ji, task: s });
+            }
+            // ...then the transfer (or copy) to the first.
+            let s0 = succs[0];
+            let cons = w.schedule.assignment(jid, s0).unwrap_or(compute);
+            let to = OwnerId::Task { job: jid.0, task: s0.0 as u64 };
+            let o = rt
+                .lifetime
+                .handover(
+                    &mut rt.mgr,
+                    &rt.topo,
+                    &mut rt.ledger,
+                    &mut rt.trace,
+                    &mut rt.engine,
+                    out,
+                    who,
+                    to,
+                    cons,
+                    finish,
+                )
+                .map_err(DisaggError::Region)?;
+            if o.transferred {
+                w.report.ownership_transfers += 1;
+            } else {
+                w.report.handover_copies += 1;
+            }
+            w.inputs.entry((ji, s0)).or_default().push(o.region);
+            let consumer_streams =
+                spec.tasks[s0.index()].props.effective(&spec.defaults).streaming;
+            let release = if o.transferred && eff.streaming && consumer_streams {
+                // Pipelined edge: the consumer may start on the first
+                // chunk while the producer's tail is still streaming.
+                start + (finish - start) / PIPELINE_DEPTH
+            } else {
+                finish
+            };
+            w.push_event(release + o.took, EventKind::EdgeDone { ji, task: s0 });
+        }
+    } else {
+        // No output region: successors are gated on (pipelined) finish
+        // alone.
+        for &s in &succs {
+            let consumer_streams =
+                spec.tasks[s.index()].props.effective(&spec.defaults).streaming;
+            let release = if eff.streaming && consumer_streams {
+                start + (finish - start) / PIPELINE_DEPTH
+            } else {
+                finish
+            };
+            w.push_event(release, EventKind::EdgeDone { ji, task: s });
+        }
+    }
+
+    // Published global-scratch regions get job scope so later tasks can
+    // use them; app-published ones get App scope so later *jobs* can.
+    // Everything else the task still owns is released (the §2.3
+    // lifetime rule) when virtual time passes its finish.
+    for &r in rt.app_published.values() {
+        if rt.mgr.is_live(r)
+            && rt.mgr.meta(r).map(|m| m.ownership.is_owner(who)).unwrap_or(false)
+        {
+            rt.mgr.transfer(r, who, OwnerId::App)?;
+        }
+    }
+    let job_published: Vec<RegionId> = w.published[ji].values().copied().collect();
+    for r in job_published {
+        if rt.mgr.is_live(r)
+            && rt.mgr.meta(r).map(|m| m.ownership.is_owner(who)).unwrap_or(false)
+        {
+            rt.mgr.transfer(r, who, OwnerId::Job(jid.0))?;
+        }
+    }
+    w.pending_exits.push((finish, who));
+
+    w.report.tasks.push(TaskReport {
+        job: jid,
+        task,
+        name: tspec.name.clone(),
+        compute,
+        start,
+        finish,
+        stats,
+        placements,
+    });
+    Ok(())
+}

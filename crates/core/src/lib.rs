@@ -39,21 +39,25 @@
 //! ```
 
 pub mod config;
+pub mod error;
+pub mod executor;
 pub mod profile;
 pub mod report;
 pub mod runtime;
 
 pub use config::RuntimeConfig;
+pub use error::{DisaggError, RuntimeError};
 pub use profile::{RunProfile, TaskProfile};
 pub use report::{DeviceSummary, RunReport, TaskReport};
-pub use runtime::{Runtime, RuntimeError};
+pub use runtime::Runtime;
 
 /// Everything an application or experiment typically imports.
 pub mod prelude {
     pub use crate::config::RuntimeConfig;
+    pub use crate::error::{DisaggError, RuntimeError};
     pub use crate::profile::{RunProfile, TaskProfile};
     pub use crate::report::{DeviceSummary, RunReport, TaskReport};
-    pub use crate::runtime::{Runtime, RuntimeError};
+    pub use crate::runtime::Runtime;
     pub use disagg_dataflow::ctx::TaskCtx;
     pub use disagg_dataflow::job::{JobBuilder, JobId, JobSpec};
     pub use disagg_dataflow::task::{TaskError, TaskId, TaskProps, TaskSpec};
@@ -67,5 +71,5 @@ pub mod prelude {
     pub use disagg_region::typed::RegionType;
     pub use disagg_sched::lifetime::HandoverPolicy;
     pub use disagg_sched::placement::PlacementPolicy;
-    pub use disagg_sched::schedule::SchedPolicy;
+    pub use disagg_sched::schedule::{QueuePolicy, SchedPolicy};
 }

@@ -8,8 +8,10 @@
 //!    scratch near the executing device, outputs placed so that all
 //!    consumers can address them, job-wide global state on coherent
 //!    memory;
-//! 3. executes task bodies against the virtual clock, charging every
-//!    access (with contention) and compute step;
+//! 3. executes task bodies against the virtual clock out of order, via
+//!    the discrete-event executor in [`crate::executor`]: per-device
+//!    ready queues, dependency-counting dispatch, compute overlapped
+//!    with region transfers;
 //! 4. hands outputs to successors — as a pure ownership transfer whenever
 //!    the consumer's device can address the memory, as a physical copy
 //!    otherwise;
@@ -19,133 +21,42 @@
 
 use std::collections::HashMap;
 
-use disagg_dataflow::ctx::{Placer, TaskCtx, TaskRegions};
-use disagg_dataflow::job::{JobId, JobSpec};
-use disagg_dataflow::task::{TaskError, TaskId};
-use disagg_hwsim::compute::WorkClass;
+use disagg_dataflow::job::JobSpec;
 use disagg_hwsim::contention::{BandwidthLedger, ResourceKey};
 use disagg_hwsim::ids::{ComputeId, MemDeviceId};
 use disagg_hwsim::time::{SimDuration, SimTime};
 use disagg_hwsim::topology::Topology;
 use disagg_hwsim::trace::{Trace, TraceEvent};
-use disagg_region::access::Accessor;
 use disagg_region::hotness::HotnessTracker;
 use disagg_region::migrate::{migrate, TieringPolicy};
-use disagg_region::pool::{MemoryPool, RegionId};
-use disagg_region::props::PropertySet;
-use disagg_region::region::{OwnerId, RegionError, RegionManager};
+use disagg_region::pool::RegionId;
+use disagg_region::region::{OwnerId, RegionManager};
 use disagg_region::typed::RegionType;
-use disagg_sched::enforce::{needs_encryption, Auditor};
+use disagg_sched::enforce::Auditor;
 use disagg_sched::lifetime::LifetimeManager;
 use disagg_sched::placement::PlacementEngine;
-use disagg_sched::schedule::{SchedError, Scheduler};
 
 use crate::config::RuntimeConfig;
-use crate::report::{DeviceSummary, RunReport, TaskReport};
+use crate::report::RunReport;
 
-/// Errors surfaced by the runtime.
-#[derive(Debug)]
-pub enum RuntimeError {
-    /// Scheduling failed.
-    Sched(SchedError),
-    /// A region operation failed outside a task body.
-    Region(RegionError),
-    /// No feasible device for one of a task's declared regions.
-    Placement {
-        /// The job.
-        job: JobId,
-        /// The task.
-        task: TaskId,
-        /// Which region kind could not be placed.
-        what: &'static str,
-    },
-    /// Every eligible compute device for a task is down.
-    NoComputeAvailable {
-        /// The job.
-        job: JobId,
-        /// The task.
-        task: TaskId,
-    },
-    /// A task body returned an error.
-    Task {
-        /// The job.
-        job: JobId,
-        /// The task.
-        task: TaskId,
-        /// Task name.
-        name: String,
-        /// The body's error.
-        error: TaskError,
-    },
-}
-
-impl From<SchedError> for RuntimeError {
-    fn from(e: SchedError) -> Self {
-        RuntimeError::Sched(e)
-    }
-}
-
-impl From<RegionError> for RuntimeError {
-    fn from(e: RegionError) -> Self {
-        RuntimeError::Region(e)
-    }
-}
-
-impl std::fmt::Display for RuntimeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RuntimeError::Sched(e) => write!(f, "scheduling failed: {e}"),
-            RuntimeError::Region(e) => write!(f, "region operation failed: {e}"),
-            RuntimeError::Placement { job, task, what } => {
-                write!(f, "no feasible placement for {what} of {job}/{task}")
-            }
-            RuntimeError::NoComputeAvailable { job, task } => {
-                write!(f, "no live compute device for {job}/{task}")
-            }
-            RuntimeError::Task { job, task, name, error } => {
-                write!(f, "{job}/{task} ('{name}') failed: {error}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for RuntimeError {}
-
-/// Adapter exposing the placement engine as the programming model's
-/// [`Placer`] trait (for ad-hoc allocations inside task bodies).
-struct EnginePlacer<'e> {
-    engine: &'e mut PlacementEngine,
-}
-
-impl Placer for EnginePlacer<'_> {
-    fn place(
-        &mut self,
-        topo: &Topology,
-        pool: &MemoryPool,
-        compute: ComputeId,
-        props: &PropertySet,
-        size: u64,
-    ) -> Option<MemDeviceId> {
-        self.engine.choose(topo, pool, compute, props, size)
-    }
-}
+pub use crate::error::{DisaggError, RuntimeError};
 
 /// The runtime system: owns the topology, the memory pool, and all the
 /// RTS machinery; executes submitted jobs.
 pub struct Runtime {
-    topo: Topology,
-    config: RuntimeConfig,
-    mgr: RegionManager,
-    ledger: BandwidthLedger,
-    trace: Trace,
-    engine: PlacementEngine,
-    lifetime: LifetimeManager,
-    auditor: Auditor,
-    hotness: HotnessTracker,
+    pub(crate) topo: Topology,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) mgr: RegionManager,
+    pub(crate) ledger: BandwidthLedger,
+    pub(crate) trace: Trace,
+    pub(crate) engine: PlacementEngine,
+    pub(crate) lifetime: LifetimeManager,
+    pub(crate) auditor: Auditor,
+    pub(crate) hotness: HotnessTracker,
     /// Application-scope named regions published across jobs.
-    app_published: HashMap<String, RegionId>,
-    next_job: u64,
-    clock: SimTime,
+    pub(crate) app_published: HashMap<String, RegionId>,
+    pub(crate) next_job: u64,
+    pub(crate) clock: SimTime,
 }
 
 impl Runtime {
@@ -262,7 +173,7 @@ impl Runtime {
     pub fn run(&mut self, jobs: Vec<JobSpec>) -> Result<RunReport, RuntimeError> {
         let Some(watermark) = self.config.admission_watermark else {
             let n = jobs.len();
-            return self.run_wave(jobs, vec![SimDuration::ZERO; n]);
+            return crate::executor::run_wave(self, jobs, vec![SimDuration::ZERO; n]);
         };
         let free: u64 = self
             .topo
@@ -279,8 +190,11 @@ impl Runtime {
             let fp = Self::job_footprint(&job);
             if !wave.is_empty() && wave_bytes + fp > budget {
                 let n = wave.len();
-                let report =
-                    self.run_wave(std::mem::take(&mut wave), vec![SimDuration::ZERO; n])?;
+                let report = crate::executor::run_wave(
+                    self,
+                    std::mem::take(&mut wave),
+                    vec![SimDuration::ZERO; n],
+                )?;
                 merge_reports(&mut combined, report);
                 wave_bytes = 0;
             }
@@ -289,7 +203,7 @@ impl Runtime {
         }
         if !wave.is_empty() {
             let n = wave.len();
-            let report = self.run_wave(wave, vec![SimDuration::ZERO; n])?;
+            let report = crate::executor::run_wave(self, wave, vec![SimDuration::ZERO; n])?;
             merge_reports(&mut combined, report);
         }
         Ok(combined)
@@ -305,15 +219,14 @@ impl Runtime {
         arrivals: Vec<(SimDuration, JobSpec)>,
     ) -> Result<RunReport, RuntimeError> {
         let (offsets, jobs): (Vec<_>, Vec<_>) = arrivals.into_iter().unzip();
-        self.run_wave(jobs, offsets)
+        crate::executor::run_wave(self, jobs, offsets)
     }
-
 
     /// Creates `n` App-owned copies of a persistent region, each on a
     /// persistent device in a failure domain different from the primary
     /// (and from each other, as far as the topology allows). Charges the
     /// copies on the bandwidth ledger.
-    fn replicate_persistent(
+    pub(crate) fn replicate_persistent(
         &mut self,
         primary: RegionId,
         compute: ComputeId,
@@ -370,588 +283,6 @@ impl Runtime {
             copies.push(copy);
         }
         Ok(copies)
-    }
-
-    /// Runs one admission wave (the whole batch when admission is off).
-    /// `offsets` are per-job arrival delays relative to the wave start.
-    fn run_wave(
-        &mut self,
-        jobs: Vec<JobSpec>,
-        offsets: Vec<SimDuration>,
-    ) -> Result<RunReport, RuntimeError> {
-        let t0 = self.clock;
-        let trace_mark = self.trace.len();
-        // Report only this run's audit findings, not the runtime's whole
-        // history.
-        let audit_mark = self.auditor.violations.len();
-        let denial_mark = self.auditor.denials;
-        let job_ids: Vec<JobId> = jobs
-            .iter()
-            .map(|_| {
-                let id = JobId(self.next_job);
-                self.next_job += 1;
-                id
-            })
-            .collect();
-        let pairs: Vec<(JobId, &JobSpec)> =
-            job_ids.iter().copied().zip(jobs.iter()).collect();
-        let schedule = Scheduler::new(self.config.sched).plan(&self.topo, &pairs)?;
-
-        // Job-wide published-region maps and global state.
-        let mut published: Vec<HashMap<String, RegionId>> =
-            jobs.iter().map(|_| HashMap::new()).collect();
-        let mut global_state: Vec<Option<RegionId>> = vec![None; jobs.len()];
-        for (ji, (&jid, spec)) in job_ids.iter().zip(jobs.iter()).enumerate() {
-            if spec.global_state_bytes == 0 {
-                continue;
-            }
-            let mut computes: Vec<ComputeId> = (0..spec.tasks.len())
-                .filter_map(|t| schedule.assignment(jid, TaskId(t as u32)))
-                .collect();
-            computes.dedup();
-            let props = RegionType::GlobalState.properties();
-            let dev = self
-                .engine
-                .choose_shared(&self.topo, self.mgr.pool(), &computes, &props, spec.global_state_bytes)
-                .ok_or(RuntimeError::Placement {
-                    job: jid,
-                    task: TaskId(0),
-                    what: "global state",
-                })?;
-            let id = self.mgr.alloc(
-                dev,
-                spec.global_state_bytes,
-                RegionType::GlobalState,
-                props.clone(),
-                OwnerId::Job(jid.0),
-                t0,
-            )?;
-            self.auditor
-                .check_placement(&self.topo, computes[0], id, dev, &props);
-            self.trace.push(TraceEvent::Alloc {
-                region: id.0,
-                dev,
-                bytes: spec.global_state_bytes,
-                at: t0,
-            });
-            global_state[ji] = Some(id);
-        }
-
-        // Execution state.
-        let mut lane_free: Vec<Vec<SimTime>> = self
-            .topo
-            .compute_devices()
-            .iter()
-            .map(|m| vec![t0; m.slots as usize])
-            .collect();
-        let mut finish_at: HashMap<(JobId, TaskId), SimTime> = HashMap::new();
-        let mut start_at: HashMap<(JobId, TaskId), SimTime> = HashMap::new();
-        // When a dataflow edge connects two *streaming* tasks and the
-        // handover is a pure ownership transfer, the consumer may start
-        // once the producer's first chunk is out (1/PIPELINE_DEPTH of the
-        // producer's runtime) instead of waiting for the whole batch —
-        // the paper's stream-vs-batch property made operational.
-        const PIPELINE_DEPTH: u64 = 8;
-        let mut input_ready: HashMap<(JobId, TaskId), SimTime> = HashMap::new();
-        // Task-exit cleanup is deferred until virtual time passes the
-        // task's finish: tasks that overlap in virtual time must have
-        // overlapping footprints in the pool, even though the executor
-        // simulates them one after another.
-        let mut pending_exits: Vec<(SimTime, OwnerId)> = Vec::new();
-        let mut inputs: HashMap<(JobId, TaskId), Vec<RegionId>> = HashMap::new();
-        let mut report = RunReport::default();
-        let ji_of: HashMap<JobId, usize> = job_ids.iter().enumerate().map(|(i, &j)| (j, i)).collect();
-
-        // Process in estimated start order, deferring entries whose
-        // predecessors have not yet run.
-        let mut queue: std::collections::VecDeque<usize> = (0..schedule.entries.len()).collect();
-        let mut stall_guard = 0usize;
-        while let Some(ei) = queue.pop_front() {
-            let entry = schedule.entries[ei];
-            let jid = entry.job;
-            let ji = ji_of[&jid];
-            let spec = &jobs[ji];
-            let task = entry.task;
-            let tspec = &spec.tasks[task.index()];
-            let preds = spec.dag.predecessors(task);
-            if !preds.iter().all(|p| finish_at.contains_key(&(jid, *p))) {
-                queue.push_back(ei);
-                stall_guard += 1;
-                assert!(
-                    stall_guard <= schedule.entries.len() * schedule.entries.len() + 16,
-                    "executor made no progress; schedule must order a valid DAG"
-                );
-                continue;
-            }
-            stall_guard = 0;
-
-            let eff = tspec.props.effective(&spec.defaults);
-            let who = OwnerId::Task {
-                job: jid.0,
-                task: task.0 as u64,
-            };
-
-            // Readiness: predecessors done and their outputs handed over.
-            // Per-edge release times (pipelined for streaming edges) are
-            // accumulated in `input_ready` when each predecessor finishes;
-            // predecessors without outputs contribute their release there
-            // too. Fall back to plain finish for safety.
-            let streaming_consumer = eff.streaming;
-            let arrival = t0 + offsets[ji];
-            let ready = preds
-                .iter()
-                .map(|p| {
-                    if streaming_consumer
-                        && spec.tasks[p.index()].props.effective(&spec.defaults).streaming
-                    {
-                        // Pipelined edge: first-chunk latency.
-                        let ps = start_at[&(jid, *p)];
-                        let pf = finish_at[&(jid, *p)];
-                        ps + (pf - ps) / PIPELINE_DEPTH
-                    } else {
-                        finish_at[&(jid, *p)]
-                    }
-                })
-                .chain(input_ready.get(&(jid, task)).copied())
-                .fold(arrival, SimTime::max);
-
-            // Fault-aware compute selection: fall back to any live
-            // eligible device if the assigned one's node is down.
-            let mut compute = entry.compute;
-            if self
-                .config
-                .faults
-                .node_down(self.topo.node_of_compute(compute), ready)
-            {
-                let replacement = self
-                    .topo
-                    .compute_ids()
-                    .find(|&c| {
-                        tspec.compute.allows(self.topo.compute(c).kind)
-                            && !self
-                                .config
-                                .faults
-                                .node_down(self.topo.node_of_compute(c), ready)
-                    })
-                    .ok_or(RuntimeError::NoComputeAvailable { job: jid, task })?;
-                compute = replacement;
-            }
-
-            // Lane assignment on the (possibly replaced) device.
-            let (lane, free) = lane_free[compute.index()]
-                .iter()
-                .copied()
-                .enumerate()
-                .min_by_key(|&(_, t)| t)
-                .expect("compute devices have at least one slot");
-            let start = ready.max(free);
-
-            // Flush exits whose virtual finish precedes this start: their
-            // regions are genuinely gone by the time this task allocates.
-            pending_exits.sort_by_key(|&(t, _)| t);
-            while let Some(&(t, who_exited)) = pending_exits.first() {
-                if t <= start {
-                    self.lifetime
-                        .task_exit(&mut self.mgr, &mut self.trace, who_exited, t);
-                    pending_exits.remove(0);
-                } else {
-                    break;
-                }
-            }
-
-            // --- Region allocation, by declared properties. ---
-            let mut placements: Vec<(&'static str, RegionId, MemDeviceId)> = Vec::new();
-            let mut regions = TaskRegions {
-                inputs: inputs.remove(&(jid, task)).unwrap_or_default(),
-                global_state: global_state[ji],
-                ..TaskRegions::default()
-            };
-
-            if tspec.private_scratch > 0 {
-                let mut props = RegionType::PrivateScratch.properties();
-                if let Some(latency) = eff.mem_latency {
-                    props.latency = latency;
-                }
-                props.confidential = eff.confidential;
-                let dev = self
-                    .engine
-                    .choose(&self.topo, self.mgr.pool(), compute, &props, tspec.private_scratch)
-                    .ok_or(RuntimeError::Placement { job: jid, task, what: "private scratch" })?;
-                let id = self.mgr.alloc(
-                    dev,
-                    tspec.private_scratch,
-                    RegionType::PrivateScratch,
-                    props.clone(),
-                    who,
-                    start,
-                )?;
-                self.auditor.check_placement(&self.topo, compute, id, dev, &props);
-                self.trace.push(TraceEvent::Alloc { region: id.0, dev, bytes: tspec.private_scratch, at: start });
-                placements.push(("private_scratch", id, dev));
-                regions.private_scratch = Some(id);
-            }
-
-            if tspec.output_bytes > 0 {
-                let mut props = RegionType::Output.properties();
-                props.persistent = eff.persistent;
-                props.confidential = eff.confidential;
-                // Co-placement: every consumer must be able to address the
-                // output for handover to be a pure transfer.
-                let mut accessors = vec![compute];
-                for &s in spec.dag.successors(task) {
-                    if let Some(c) = schedule.assignment(jid, s) {
-                        if !accessors.contains(&c) {
-                            accessors.push(c);
-                        }
-                    }
-                }
-                let dev = self
-                    .engine
-                    .choose_shared(&self.topo, self.mgr.pool(), &accessors, &props, tspec.output_bytes)
-                    .or_else(|| {
-                        // Fall back to producer-only placement (handover
-                        // will copy).
-                        self.engine
-                            .choose(&self.topo, self.mgr.pool(), compute, &props, tspec.output_bytes)
-                    })
-                    .ok_or(RuntimeError::Placement { job: jid, task, what: "output" })?;
-                let id = self.mgr.alloc(
-                    dev,
-                    tspec.output_bytes,
-                    RegionType::Output,
-                    props.clone(),
-                    who,
-                    start,
-                )?;
-                self.auditor.check_placement(&self.topo, compute, id, dev, &props);
-                self.trace.push(TraceEvent::Alloc { region: id.0, dev, bytes: tspec.output_bytes, at: start });
-                placements.push(("output", id, dev));
-                regions.output = Some(id);
-            }
-
-            if tspec.global_scratch > 0 {
-                let mut props = RegionType::GlobalScratch.properties();
-                props.confidential = eff.confidential;
-                let mut computes: Vec<ComputeId> = (0..spec.tasks.len())
-                    .filter_map(|t| schedule.assignment(jid, TaskId(t as u32)))
-                    .collect();
-                computes.dedup();
-                let dev = self
-                    .engine
-                    .choose_shared(&self.topo, self.mgr.pool(), &computes, &props, tspec.global_scratch)
-                    .ok_or(RuntimeError::Placement { job: jid, task, what: "global scratch" })?;
-                let id = self.mgr.alloc(
-                    dev,
-                    tspec.global_scratch,
-                    RegionType::GlobalScratch,
-                    props.clone(),
-                    who,
-                    start,
-                )?;
-                self.auditor.check_placement(&self.topo, compute, id, dev, &props);
-                self.trace.push(TraceEvent::Alloc { region: id.0, dev, bytes: tspec.global_scratch, at: start });
-                placements.push(("global_scratch", id, dev));
-                regions.global_scratch = Some(id);
-            }
-
-            // --- Execute the body. ---
-            let launch =
-                SimDuration::from_nanos_f64(self.topo.compute(compute).launch_overhead_ns);
-            self.trace.push(TraceEvent::TaskStart {
-                job: jid.0,
-                task: task.0 as u64,
-                on: compute,
-                at: start,
-            });
-            let regions_snapshot = regions.clone();
-            let (finish, stats, body_result) = {
-                let mut acc = Accessor::new(
-                    &self.topo,
-                    &mut self.ledger,
-                    &mut self.mgr,
-                    &mut self.trace,
-                    compute,
-                    who,
-                    start + launch,
-                );
-                let mut placer = EnginePlacer { engine: &mut self.engine };
-                let mut ctx = TaskCtx::new(
-                    &mut acc,
-                    regions.clone(),
-                    &mut placer,
-                    &mut published[ji],
-                    &mut self.app_published,
-                );
-                let result = (tspec.body)(&mut ctx);
-                (acc.now, acc.stats, result)
-            };
-
-            // Mid-task crash recovery: if the node executing this task
-            // died while it ran, the attempt is lost. Task bodies are
-            // re-runnable (`Fn`), so re-place on a surviving device and
-            // execute again — the makespan pays for both attempts.
-            let (finish, stats, body_result) = {
-                let my_node = self.topo.node_of_compute(compute);
-                let crashed_midway = self
-                    .config
-                    .faults
-                    .events_between(start, finish)
-                    .iter()
-                    .any(|e| {
-                        matches!(e.kind,
-                            disagg_hwsim::fault::FaultKind::NodeCrash(n) if n == my_node)
-                    });
-                if crashed_midway && body_result.is_ok() {
-                    let crash_at = self
-                        .config
-                        .faults
-                        .first_node_crash(my_node)
-                        .expect("crash detected above")
-                        .max(start);
-                    let replacement = self
-                        .topo
-                        .compute_ids()
-                        .find(|&c| {
-                            tspec.compute.allows(self.topo.compute(c).kind)
-                                && !self
-                                    .config
-                                    .faults
-                                    .node_down(self.topo.node_of_compute(c), crash_at)
-                        })
-                        .ok_or(RuntimeError::NoComputeAvailable { job: jid, task })?;
-                    compute = replacement;
-                    let relaunch = SimDuration::from_nanos_f64(
-                        self.topo.compute(compute).launch_overhead_ns,
-                    );
-                    let mut acc = Accessor::new(
-                        &self.topo,
-                        &mut self.ledger,
-                        &mut self.mgr,
-                        &mut self.trace,
-                        compute,
-                        who,
-                        crash_at + relaunch,
-                    );
-                    let mut placer = EnginePlacer { engine: &mut self.engine };
-                    let mut ctx = TaskCtx::new(
-                        &mut acc,
-                        regions,
-                        &mut placer,
-                        &mut published[ji],
-                        &mut self.app_published,
-                    );
-                    let result = (tspec.body)(&mut ctx);
-                    (acc.now, acc.stats, result)
-                } else {
-                    (finish, stats, body_result)
-                }
-            };
-            if let Err(error) = body_result {
-                // Record the denial if it was a confidentiality rejection.
-                if error.0.contains("confidential") {
-                    self.auditor.record_denial(RegionId(u64::MAX), None, Some(jid.0));
-                }
-                return Err(RuntimeError::Task {
-                    job: jid,
-                    task,
-                    name: tspec.name.clone(),
-                    error,
-                });
-            }
-
-            // Confidential data leaving the trust boundary pays the
-            // encryption toll on every written byte.
-            let mut finish = finish;
-            if eff.confidential {
-                let crypto_bytes: u64 = placements
-                    .iter()
-                    .filter(|(_, _, dev)| needs_encryption(&self.topo, *dev))
-                    .map(|_| stats.bytes_written)
-                    .sum();
-                if crypto_bytes > 0 {
-                    finish += self
-                        .topo
-                        .compute(compute)
-                        .exec_cost(WorkClass::Crypto, crypto_bytes);
-                }
-            }
-
-            self.trace.push(TraceEvent::TaskFinish {
-                job: jid.0,
-                task: task.0 as u64,
-                on: compute,
-                at: finish,
-            });
-            // A crash retry may have moved the task to a device with
-            // fewer lanes; clamp the lane index before recording.
-            let lane = lane.min(lane_free[compute.index()].len() - 1);
-            lane_free[compute.index()][lane] = finish;
-            start_at.insert((jid, task), start);
-            finish_at.insert((jid, task), finish);
-
-            // --- Handover to successors. ---
-            if let Some(out) = regions_snapshot.output {
-                let succs = spec.dag.successors(task).to_vec();
-                if succs.is_empty() {
-                    if eff.persistent {
-                        // Persistent results outlive the job (App scope).
-                        self.mgr.transfer(out, who, OwnerId::App)?;
-                        // Fault tolerance: keep extra copies on persistent
-                        // devices in other failure domains.
-                        if self.config.persistent_replicas > 1 {
-                            let copies = self.replicate_persistent(
-                                out,
-                                compute,
-                                self.config.persistent_replicas - 1,
-                                finish,
-                            )?;
-                            report.persistent_replicas.push((out, copies));
-                        }
-                    }
-                } else {
-                    // Copies for fan-out consumers beyond the first...
-                    for &s in &succs[1..] {
-                        let cons = schedule.assignment(jid, s).unwrap_or(compute);
-                        let to = OwnerId::Task { job: jid.0, task: s.0 as u64 };
-                        let o = self
-                            .lifetime
-                            .copy_to(
-                                &mut self.mgr,
-                                &self.topo,
-                                &mut self.ledger,
-                                &mut self.trace,
-                                &mut self.engine,
-                                out,
-                                None,
-                                to,
-                                cons,
-                                finish,
-                            )
-                            .map_err(RuntimeError::Region)?;
-                        report.handover_copies += 1;
-                        inputs.entry((jid, s)).or_default().push(o.region);
-                        let r = input_ready.entry((jid, s)).or_insert(t0);
-                        *r = (*r).max(finish + o.took);
-                    }
-                    // ...then the transfer (or copy) to the first.
-                    let s0 = succs[0];
-                    let cons = schedule.assignment(jid, s0).unwrap_or(compute);
-                    let to = OwnerId::Task { job: jid.0, task: s0.0 as u64 };
-                    let o = self
-                        .lifetime
-                        .handover(
-                            &mut self.mgr,
-                            &self.topo,
-                            &mut self.ledger,
-                            &mut self.trace,
-                            &mut self.engine,
-                            out,
-                            who,
-                            to,
-                            cons,
-                            finish,
-                        )
-                        .map_err(RuntimeError::Region)?;
-                    if o.transferred {
-                        report.ownership_transfers += 1;
-                    } else {
-                        report.handover_copies += 1;
-                    }
-                    inputs.entry((jid, s0)).or_default().push(o.region);
-                    let consumer_streams =
-                        spec.tasks[s0.index()].props.effective(&spec.defaults).streaming;
-                    let release = if o.transferred && eff.streaming && consumer_streams {
-                        start + (finish - start) / PIPELINE_DEPTH
-                    } else {
-                        finish
-                    };
-                    let r = input_ready.entry((jid, s0)).or_insert(t0);
-                    *r = (*r).max(release + o.took);
-                }
-            }
-
-            // Published global-scratch regions get job scope so later
-            // tasks can use them; app-published ones get App scope so
-            // later *jobs* can. Everything else the task still owns is
-            // released (the §2.3 lifetime rule).
-            for &r in self.app_published.values() {
-                if self.mgr.is_live(r)
-                    && self.mgr.meta(r).map(|m| m.ownership.is_owner(who)).unwrap_or(false)
-                {
-                    self.mgr.transfer(r, who, OwnerId::App)?;
-                }
-            }
-            for &r in published[ji].values() {
-                if self.mgr.is_live(r) && self.mgr.meta(r).map(|m| m.ownership.is_owner(who)).unwrap_or(false) {
-                    self.mgr.transfer(r, who, OwnerId::Job(jid.0))?;
-                }
-            }
-            pending_exits.push((finish, who));
-
-            report.tasks.push(TaskReport {
-                job: jid,
-                task,
-                name: tspec.name.clone(),
-                compute,
-                start,
-                finish,
-                stats,
-                placements,
-            });
-        }
-
-        // End of batch: flush the remaining task exits in time order,
-        // then release job-scoped regions; App-scoped (persistent)
-        // regions survive.
-        pending_exits.sort_by_key(|&(t, _)| t);
-        for (t, who_exited) in pending_exits {
-            self.lifetime
-                .task_exit(&mut self.mgr, &mut self.trace, who_exited, t);
-        }
-        for &jid in &job_ids {
-            let freed = self.mgr.release_all(OwnerId::Job(jid.0));
-            for _ in freed {
-                // Free events are recorded by release paths when traced;
-                // job-scope cleanup is bookkeeping only.
-            }
-        }
-
-        // Feed the batch's accesses into the hotness tracker (one decay
-        // tick per batch so old heat fades). Only this batch's events are
-        // walked; the trace is append-only.
-        self.hotness.decay();
-        for e in &self.trace.events()[trace_mark..] {
-            match *e {
-                TraceEvent::Access { region, bytes, at, .. } => {
-                    self.hotness.record(RegionId(region), bytes, at);
-                }
-                TraceEvent::Free { region, .. } => {
-                    self.hotness.forget(RegionId(region));
-                }
-                _ => {}
-            }
-        }
-
-        let end = finish_at.values().copied().fold(t0, SimTime::max);
-        self.clock = end;
-        report.makespan = end - t0;
-        report.bytes_moved = self.trace.bytes_moved();
-        report.bytes_ownership_transferred = self.trace.bytes_transferred_by_ownership();
-        report.placements = std::mem::take(&mut self.engine.decisions);
-        report.violations = self.auditor.violations[audit_mark..].to_vec();
-        report.denials = self.auditor.denials - denial_mark;
-        report.devices = self
-            .topo
-            .mem_ids()
-            .map(|dev| DeviceSummary {
-                dev,
-                peak_bytes: self.mgr.pool().peak(dev),
-                capacity: self.mgr.pool().capacity(dev),
-                bytes_transferred: self.ledger.stats(ResourceKey::Mem(dev)).bytes,
-            })
-            .collect();
-        report.tasks.sort_by_key(|t| (t.finish, t.job, t.task));
-        Ok(report)
     }
 }
 

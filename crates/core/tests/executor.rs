@@ -723,6 +723,226 @@ fn runtime_tiering_promotes_hot_app_regions_and_respects_properties() {
     assert_eq!(rt.manager().placement(pinned).unwrap().dev, pmem);
 }
 
+// ---------------------------------------------------------------------
+// Out-of-order executor invariants.
+// ---------------------------------------------------------------------
+
+/// Two nodes, each with a single-slot CPU and local DRAM, joined by a
+/// NUMA interconnect: the smallest topology where genuine multi-device
+/// overlap is observable (each device can only run one task at a time).
+fn two_workers() -> disagg_hwsim::topology::Topology {
+    use disagg_hwsim::compute::ComputeModel;
+    use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
+    use disagg_hwsim::topology::{Endpoint, LinkKind, Topology};
+
+    let mut b = Topology::builder();
+    let mut serial_cpu = ComputeModel::preset(ComputeKind::Cpu);
+    serial_cpu.slots = 1;
+    let s0 = b.node("worker0");
+    let s1 = b.node("worker1");
+    let cpu0 = b.compute(s0, serial_cpu.clone());
+    let cpu1 = b.compute(s1, serial_cpu);
+    let dram0 = b.mem(s0, MemDeviceModel::preset(MemDeviceKind::Dram));
+    let dram1 = b.mem(s1, MemDeviceModel::preset(MemDeviceKind::Dram));
+    b.link(cpu0, dram0, LinkKind::MemBus);
+    b.link(cpu1, dram1, LinkKind::MemBus);
+    b.link(cpu0, Endpoint::Hub(s0), LinkKind::MemBus);
+    b.link(cpu1, Endpoint::Hub(s1), LinkKind::MemBus);
+    b.link(Endpoint::Hub(s0), Endpoint::Hub(s1), LinkKind::Numa);
+    b.link(Endpoint::Hub(s0), dram0, LinkKind::MemBus);
+    b.link(Endpoint::Hub(s1), dram1, LinkKind::MemBus);
+    b.build().expect("two-worker topology is valid")
+}
+
+/// A diamond: source → {left, right} → sink, every task ~1 ms of scalar
+/// compute with a small output.
+fn diamond_job() -> JobSpec {
+    let mut j = JobBuilder::new("diamond");
+    let mk = |name: &str| {
+        TaskSpec::new(name)
+            .work(WorkClass::Scalar, 1_000_000)
+            .output_bytes(4096)
+            .body(|ctx| {
+                ctx.compute(WorkClass::Scalar, 1_000_000);
+                ctx.write_output(0, &[1u8; 4096])?;
+                Ok(())
+            })
+    };
+    let source = j.task(mk("source"));
+    let left = j.task(mk("left"));
+    let right = j.task(mk("right"));
+    let sink = j.task(mk("sink"));
+    j.edge(source, left);
+    j.edge(source, right);
+    j.edge(left, sink);
+    j.edge(right, sink);
+    j.build().unwrap()
+}
+
+#[test]
+fn diamond_on_two_devices_beats_the_serial_sum() {
+    let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
+    let report = rt.submit(diamond_job()).unwrap();
+    assert_eq!(report.tasks.len(), 4);
+    let serial_sum: SimDuration = report.tasks.iter().map(|t| t.duration()).sum();
+    assert!(
+        report.makespan < serial_sum,
+        "parallel arms must overlap: makespan {} vs serial sum {}",
+        report.makespan,
+        serial_sum
+    );
+    // The two arms genuinely ran concurrently (in virtual time) on the
+    // two single-slot devices.
+    let left = report.task_by_name(JobId(0), "left").unwrap();
+    let right = report.task_by_name(JobId(0), "right").unwrap();
+    assert_ne!(left.compute, right.compute, "arms spread across devices");
+    assert!(
+        left.start < right.finish && right.start < left.finish,
+        "arm executions overlap in virtual time"
+    );
+}
+
+#[test]
+fn makespan_is_bounded_below_by_the_critical_path() {
+    // For non-streaming tasks, every DAG path must execute end-to-end
+    // in sequence, so the makespan can never undercut the longest path
+    // of observed task durations.
+    let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
+    let report = rt.submit(diamond_job()).unwrap();
+    let dur = |name: &str| report.task_by_name(JobId(0), name).unwrap().duration();
+    let critical_path =
+        dur("source") + dur("left").max(dur("right")) + dur("sink");
+    assert!(
+        report.makespan >= critical_path,
+        "makespan {} below critical path {}",
+        report.makespan,
+        critical_path
+    );
+}
+
+#[test]
+fn same_submission_is_bit_for_bit_deterministic() {
+    let run = || {
+        let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
+        rt.submit(diamond_job()).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.ownership_transfers, b.ownership_transfers);
+    assert_eq!(a.handover_copies, b.handover_copies);
+    assert_eq!(a.bytes_moved, b.bytes_moved);
+    assert_eq!(a.tasks.len(), b.tasks.len());
+    for (x, y) in a.tasks.iter().zip(b.tasks.iter()) {
+        assert_eq!((x.job, x.task, x.compute), (y.job, y.task, y.compute));
+        assert_eq!((x.start, x.finish), (y.start, y.finish));
+    }
+}
+
+#[test]
+fn every_queue_policy_runs_the_full_dag() {
+    for policy in [
+        QueuePolicy::CostRank,
+        QueuePolicy::Fifo,
+        QueuePolicy::ShortestFirst,
+    ] {
+        let mut rt = Runtime::new(
+            two_workers(),
+            RuntimeConfig::traced().with_queue(policy),
+        );
+        let report = rt.submit(diamond_job()).unwrap();
+        assert_eq!(report.tasks.len(), 4, "{policy:?} ran every task");
+        let serial_sum: SimDuration = report.tasks.iter().map(|t| t.duration()).sum();
+        assert!(
+            report.makespan < serial_sum,
+            "{policy:?} still overlaps the arms"
+        );
+    }
+}
+
+#[test]
+fn dispatch_is_visible_in_the_trace() {
+    use disagg_hwsim::trace::TraceEvent;
+    let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
+    rt.submit(diamond_job()).unwrap();
+    let queued = rt
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::TaskQueued { .. }))
+        .count();
+    let dispatched = rt
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::TaskDispatch { .. }))
+        .count();
+    assert_eq!(queued, 4, "every task passes through a ready queue");
+    assert_eq!(dispatched, 4, "every task is dispatched exactly once");
+    // The sink must have waited in a queue for a lane only if both arms
+    // contended; regardless, no dispatch may precede its queueing.
+    for e in rt.trace().events() {
+        if let TraceEvent::TaskDispatch { waited, .. } = e {
+            assert!(*waited >= SimDuration::ZERO);
+        }
+    }
+}
+
+#[test]
+fn quickstart_handover_count_is_unchanged() {
+    // The crate-level quickstart promises exactly one zero-copy
+    // ownership transfer; the out-of-order executor must keep it.
+    let (topo, _ids) = single_server();
+    let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+    let mut job = JobBuilder::new("quickstart");
+    let produce = job.task(
+        TaskSpec::new("produce")
+            .work(WorkClass::Vector, 10_000)
+            .output_bytes(4096)
+            .body(|ctx| {
+                ctx.write_output(0, &[7u8; 4096])?;
+                Ok(())
+            }),
+    );
+    let consume = job.task(TaskSpec::new("consume").body(|ctx| {
+        let mut buf = [0u8; 4096];
+        ctx.read_input(0, &mut buf)?;
+        assert!(buf.iter().all(|&b| b == 7));
+        Ok(())
+    }));
+    job.edge(produce, consume);
+    let report = rt.submit(job.build().unwrap()).unwrap();
+    assert_eq!(report.ownership_transfers, 1);
+    assert!(report.placements_clean());
+}
+
+#[test]
+fn independent_jobs_interleave_on_the_devices() {
+    // Two single-task jobs submitted as one batch must not serialize
+    // behind each other when two devices are free.
+    let mk = |name: &str| {
+        let mut j = JobBuilder::new(name);
+        j.task(
+            TaskSpec::new("t")
+                .work(WorkClass::Scalar, 1_000_000)
+                .body(|ctx| {
+                    ctx.compute(WorkClass::Scalar, 1_000_000);
+                    Ok(())
+                }),
+        );
+        j.build().unwrap()
+    };
+    let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
+    let report = rt.run(vec![mk("one"), mk("two")]).unwrap();
+    let serial_sum: SimDuration = report.tasks.iter().map(|t| t.duration()).sum();
+    assert!(
+        report.makespan < serial_sum,
+        "independent jobs overlap: makespan {} vs serial {}",
+        report.makespan,
+        serial_sum
+    );
+}
+
 #[test]
 fn reports_contain_only_their_own_runs_findings() {
     // Run 1 provokes a confidential denial; run 2 is clean. Each report

@@ -118,10 +118,24 @@ impl Dag {
 
     /// Tasks with no predecessors.
     pub fn sources(&self) -> Vec<TaskId> {
+        self.frontier().collect()
+    }
+
+    /// In-degree (predecessor count) per task, indexed by task id.
+    ///
+    /// This is the seed state for dependency-counting dispatch: an
+    /// executor decrements a task's count as each incoming edge is
+    /// satisfied and enqueues the task when it reaches zero.
+    pub fn indegrees(&self) -> Vec<usize> {
+        self.pred.iter().map(Vec::len).collect()
+    }
+
+    /// Iterates the initial ready frontier: tasks with no predecessors,
+    /// in task-id order.
+    pub fn frontier(&self) -> impl Iterator<Item = TaskId> + '_ {
         (0..self.n)
             .filter(|&i| self.pred[i].is_empty())
             .map(|i| TaskId(i as u32))
-            .collect()
     }
 
     /// Tasks with no successors.
@@ -237,6 +251,13 @@ mod tests {
             _ => 1.0,
         };
         assert_eq!(dag.critical_path(w), 12.0);
+    }
+
+    #[test]
+    fn indegrees_and_frontier_match_edges() {
+        let dag = Dag::new(4, &[(t(0), t(1)), (t(0), t(2)), (t(1), t(3)), (t(2), t(3))]).unwrap();
+        assert_eq!(dag.indegrees(), vec![0, 1, 1, 2]);
+        assert_eq!(dag.frontier().collect::<Vec<_>>(), vec![t(0)]);
     }
 
     #[test]

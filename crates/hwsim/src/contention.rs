@@ -34,6 +34,9 @@ pub struct ResourceStats {
     pub busy: SimDuration,
     /// Number of reservations made.
     pub reservations: u64,
+    /// Most reservations sharing any one time bucket: how many accessors
+    /// the resource was charged for at its most contended instant.
+    pub peak_overlap: u32,
 }
 
 /// Deterministic, bucketed bandwidth ledger.
@@ -42,6 +45,8 @@ pub struct BandwidthLedger {
     bucket_ns: u64,
     /// `(resource, bucket index) → bytes already reserved`.
     used: HashMap<(ResourceKey, u64), f64>,
+    /// `(resource, bucket index) → reservations touching the bucket`.
+    accessors: HashMap<(ResourceKey, u64), u32>,
     stats: HashMap<ResourceKey, ResourceStats>,
 }
 
@@ -58,6 +63,7 @@ impl BandwidthLedger {
         BandwidthLedger {
             bucket_ns,
             used: HashMap::new(),
+            accessors: HashMap::new(),
             stats: HashMap::new(),
         }
     }
@@ -85,7 +91,8 @@ impl BandwidthLedger {
         }
         let cap_per_bucket = bw_bpns * self.bucket_ns as f64;
         let mut remaining = bytes;
-        let mut bucket = start.as_nanos() / self.bucket_ns;
+        let first_bucket = start.as_nanos() / self.bucket_ns;
+        let mut bucket = first_bucket;
         // Fractional headroom of the first bucket: the transfer only
         // occupies the part of the bucket after `start`.
         let mut first_fraction =
@@ -117,10 +124,20 @@ impl BandwidthLedger {
             own_ns += avail / bw_bpns;
             bucket += 1;
         }
+        // Charge the overlap: every bucket this transfer touched gains
+        // one accessor, and the resource's peak concurrent-accessor
+        // count is the contention actually experienced.
+        let mut peak = 0u32;
+        for b in first_bucket..=bucket {
+            let n = self.accessors.entry((resource, b)).or_insert(0);
+            *n += 1;
+            peak = peak.max(*n);
+        }
         let st = self.stats.entry(resource).or_default();
         st.bytes += bytes;
         st.busy += finish - start;
         st.reservations += 1;
+        st.peak_overlap = st.peak_overlap.max(peak);
         finish
     }
 
@@ -141,6 +158,7 @@ impl BandwidthLedger {
     /// Clears all reservations and statistics.
     pub fn reset(&mut self) {
         self.used.clear();
+        self.accessors.clear();
         self.stats.clear();
     }
 }
@@ -231,6 +249,18 @@ mod tests {
         let finish = ledger.reserve(DEV, SimTime(0), 10_000.0, 10.0);
         assert_eq!(finish, SimTime(1_000));
         assert_eq!(ledger.stats(DEV).reservations, 1);
+    }
+
+    #[test]
+    fn peak_overlap_counts_concurrent_accessors() {
+        let mut ledger = BandwidthLedger::new(1_000);
+        // Three small transfers share the first bucket.
+        for _ in 0..3 {
+            ledger.reserve(DEV, SimTime(0), 100.0, 10.0);
+        }
+        // A fourth lands in a later, empty window.
+        ledger.reserve(DEV, SimTime(50_000), 100.0, 10.0);
+        assert_eq!(ledger.stats(DEV).peak_overlap, 3);
     }
 
     #[test]

@@ -101,6 +101,31 @@ pub enum TraceEvent {
         /// When.
         at: SimTime,
     },
+    /// A task's dependencies were all satisfied and it entered a
+    /// compute device's ready queue.
+    TaskQueued {
+        /// Job identifier.
+        job: u64,
+        /// Task index within the job.
+        task: u64,
+        /// The device whose queue it joined.
+        on: ComputeId,
+        /// When it became ready.
+        at: SimTime,
+    },
+    /// A queued task was picked by the dispatcher and occupied a lane.
+    TaskDispatch {
+        /// Job identifier.
+        job: u64,
+        /// Task index within the job.
+        task: u64,
+        /// The dispatching device.
+        on: ComputeId,
+        /// Dispatch time.
+        at: SimTime,
+        /// Time spent waiting in the ready queue.
+        waited: SimDuration,
+    },
 }
 
 impl TraceEvent {
@@ -113,7 +138,9 @@ impl TraceEvent {
             | TraceEvent::Migrate { at, .. }
             | TraceEvent::OwnershipTransfer { at, .. }
             | TraceEvent::TaskStart { at, .. }
-            | TraceEvent::TaskFinish { at, .. } => at,
+            | TraceEvent::TaskFinish { at, .. }
+            | TraceEvent::TaskQueued { at, .. }
+            | TraceEvent::TaskDispatch { at, .. } => at,
         }
     }
 }
@@ -256,6 +283,17 @@ impl Trace {
                 TraceEvent::TaskFinish { job, task, on, at } => {
                     format!("task_finish,{},,,{},,,{job},{task},", at.as_nanos(), on.0)
                 }
+                TraceEvent::TaskQueued { job, task, on, at } => {
+                    format!("task_queued,{},,,{},,,{job},{task},", at.as_nanos(), on.0)
+                }
+                TraceEvent::TaskDispatch { job, task, on, at, waited } => {
+                    format!(
+                        "task_dispatch,{},{},,{},,,{job},{task},",
+                        at.as_nanos(),
+                        waited.as_nanos(),
+                        on.0
+                    )
+                }
             };
             out.push_str(&line);
             out.push('\n');
@@ -372,14 +410,32 @@ mod tests {
             bytes: 64,
             at: SimTime(3),
         });
+        t.push(TraceEvent::TaskQueued { job: 0, task: 1, on: ComputeId(0), at: SimTime(3) });
+        t.push(TraceEvent::TaskDispatch {
+            job: 0,
+            task: 1,
+            on: ComputeId(0),
+            at: SimTime(4),
+            waited: SimDuration(1),
+        });
         t.push(TraceEvent::TaskStart { job: 0, task: 1, on: ComputeId(0), at: SimTime(4) });
         t.push(TraceEvent::TaskFinish { job: 0, task: 1, on: ComputeId(0), at: SimTime(5) });
         t.push(TraceEvent::Free { region: 1, dev: MemDeviceId(1), bytes: 64, at: SimTime(6) });
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 8, "header + 7 events");
+        assert_eq!(lines.len(), 10, "header + 9 events");
         assert!(lines[0].starts_with("kind,at_ns"));
-        for kind in ["alloc", "access", "migrate", "transfer", "task_start", "task_finish", "free"] {
+        for kind in [
+            "alloc",
+            "access",
+            "migrate",
+            "transfer",
+            "task_queued",
+            "task_dispatch",
+            "task_start",
+            "task_finish",
+            "free",
+        ] {
             assert!(csv.lines().any(|l| l.starts_with(kind)), "missing {kind}");
         }
         // Every row has the header's arity.

@@ -29,4 +29,4 @@ pub use cost::{CostModel, CostWeights, TopologyAwareness};
 pub use enforce::{needs_encryption, xor_cipher, Auditor, Violation};
 pub use lifetime::{HandoverOutcome, HandoverPolicy, LifetimeManager, TRANSFER_OVERHEAD};
 pub use placement::{PlacementDecision, PlacementEngine, PlacementPolicy};
-pub use schedule::{SchedError, SchedPolicy, Schedule, ScheduleEntry, Scheduler};
+pub use schedule::{QueuePolicy, SchedError, SchedPolicy, Schedule, ScheduleEntry, Scheduler};

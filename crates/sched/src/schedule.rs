@@ -29,6 +29,26 @@ pub enum SchedPolicy {
     RoundRobin,
 }
 
+/// How a per-device ready queue admits tasks into free lanes.
+///
+/// The schedule's device *assignment* stays authoritative, but under
+/// out-of-order execution several assigned tasks can be ready on the
+/// same device at once; the queue policy decides which one a freed
+/// lane dispatches next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// Highest upward rank first: the cost model's critical-path
+    /// estimate orders dispatch, so list-scheduling priorities carry
+    /// through to execution (the HEFT-consistent default).
+    #[default]
+    CostRank,
+    /// Queue-arrival order (breaks ties by job then task id).
+    Fifo,
+    /// Shortest estimated duration first (maximizes lane turnover,
+    /// risks starving long tasks).
+    ShortestFirst,
+}
+
 /// One scheduled task.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduleEntry {
@@ -42,6 +62,17 @@ pub struct ScheduleEntry {
     pub est_start: SimTime,
     /// Estimated finish time.
     pub est_finish: SimTime,
+    /// Upward rank (estimated critical path to a sink, ns). Feeds
+    /// [`QueuePolicy::CostRank`] dispatch ordering; 0 under policies
+    /// that do not rank (round-robin).
+    pub rank: f64,
+}
+
+impl ScheduleEntry {
+    /// The cost model's estimated duration for this placement.
+    pub fn est_duration(&self) -> SimDuration {
+        self.est_finish - self.est_start
+    }
 }
 
 /// A complete schedule for a set of jobs.
@@ -330,6 +361,7 @@ impl Scheduler {
                 compute: c,
                 est_start: start,
                 est_finish: fin,
+                rank: rank[i],
             });
         }
         schedule.sort_by_start();

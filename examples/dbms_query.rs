@@ -7,12 +7,12 @@
 //!
 //! Run with: `cargo run --example dbms_query`
 
-use disagg_core::prelude::*;
-use disagg_workloads::dbms::{decode_result, expected, query_job, DbmsConfig};
-use disagg_workloads::util::final_output;
+use disagg::prelude::*;
+use disagg::workloads::dbms::{decode_result, expected, query_job, DbmsConfig};
+use disagg::workloads::util::final_output;
 
 fn run_once(policy: PlacementPolicy, cfg: DbmsConfig) -> (SimDuration, (u64, u64, u64)) {
-    let (topo, _) = disagg_hwsim::presets::single_server();
+    let (topo, _) = disagg::presets::single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_placement(policy));
     let report = rt.submit(query_job(cfg)).expect("query runs");
     let result = decode_result(&final_output(&rt, &report, JobId(0), "hash-join"));

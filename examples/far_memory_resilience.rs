@@ -4,13 +4,13 @@
 //!
 //! Run with: `cargo run --example far_memory_resilience`
 
-use disagg_ftol::replicate::ReplicatedRegion;
-use disagg_ftol::stripe::StripedRegion;
-use disagg_hwsim::contention::BandwidthLedger;
-use disagg_hwsim::fault::{FaultEvent, FaultInjector, FaultKind};
-use disagg_hwsim::presets::disaggregated_rack;
-use disagg_hwsim::time::SimTime;
-use disagg_region::region::{OwnerId, RegionManager};
+use disagg::ftol::replicate::ReplicatedRegion;
+use disagg::ftol::stripe::StripedRegion;
+use disagg::hwsim::contention::BandwidthLedger;
+use disagg::hwsim::fault::{FaultEvent, FaultInjector, FaultKind};
+use disagg::presets::disaggregated_rack;
+use disagg::hwsim::time::SimTime;
+use disagg::region::region::{OwnerId, RegionManager};
 
 const OWNER: OwnerId = OwnerId::App;
 

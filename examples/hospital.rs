@@ -7,15 +7,15 @@
 //!
 //! Run with: `cargo run --example hospital`
 
-use disagg_core::prelude::*;
-use disagg_workloads::hospital::{decode_count, expected, hospital_job, HospitalConfig};
-use disagg_workloads::util::final_output;
+use disagg::prelude::*;
+use disagg::workloads::hospital::{decode_count, expected, hospital_job, HospitalConfig};
+use disagg::workloads::util::final_output;
 
 fn main() {
     let cfg = HospitalConfig::default();
     let truth = expected(&cfg);
 
-    let (topo, _) = disagg_hwsim::presets::single_server();
+    let (topo, _) = disagg::presets::single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced());
     let report = rt.submit(hospital_job(cfg)).expect("hospital job runs");
 

@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --example ml_training`
 
-use disagg_core::prelude::*;
-use disagg_workloads::ml::{decode_model, expected_model, training_job, MlConfig};
-use disagg_workloads::util::final_output;
+use disagg::prelude::*;
+use disagg::workloads::ml::{decode_model, expected_model, training_job, MlConfig};
+use disagg::workloads::util::final_output;
 
 fn main() {
     let cfg = MlConfig {
@@ -15,7 +15,7 @@ fn main() {
         epochs: 4,
         seed: 7,
     };
-    let (topo, _) = disagg_hwsim::presets::single_server();
+    let (topo, _) = disagg::presets::single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced());
     let report = rt.submit(training_job(cfg)).expect("training runs");
 

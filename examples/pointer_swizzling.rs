@@ -12,17 +12,17 @@
 //!
 //! Run with: `cargo run --example pointer_swizzling`
 
-use disagg_hwsim::contention::BandwidthLedger;
-use disagg_hwsim::device::AccessPattern;
-use disagg_hwsim::presets::single_server;
-use disagg_hwsim::time::SimTime;
-use disagg_hwsim::trace::Trace;
-use disagg_region::access::Accessor;
-use disagg_region::hotness::TaggedPtr;
-use disagg_region::pool::RegionId;
-use disagg_region::props::{AccessMode, PropertySet};
-use disagg_region::region::{OwnerId, RegionManager};
-use disagg_region::typed::RegionType;
+use disagg::hwsim::contention::BandwidthLedger;
+use disagg::hwsim::device::AccessPattern;
+use disagg::presets::single_server;
+use disagg::hwsim::time::SimTime;
+use disagg::hwsim::trace::Trace;
+use disagg::region::access::Accessor;
+use disagg::region::hotness::TaggedPtr;
+use disagg::region::pool::RegionId;
+use disagg::region::props::{AccessMode, PropertySet};
+use disagg::region::region::{OwnerId, RegionManager};
+use disagg::region::typed::RegionType;
 
 const WHO: OwnerId = OwnerId::App;
 /// One list node: a tagged next-pointer and 56 bytes of payload.

@@ -8,12 +8,12 @@
 //!
 //! Run with: `cargo run --example profiling`
 
-use disagg_core::prelude::*;
-use disagg_region::props::PropertySet;
-use disagg_region::typed::RegionType;
+use disagg::prelude::*;
+use disagg::region::props::PropertySet;
+use disagg::region::typed::RegionType;
 
 fn main() {
-    let (topo, _) = disagg_hwsim::presets::single_server();
+    let (topo, _) = disagg::presets::single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced());
 
     let mut job = JobBuilder::new("unbalanced");

@@ -2,12 +2,12 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use disagg_core::prelude::*;
+use disagg::prelude::*;
 
 fn main() {
     // A fully equipped server: CPU (cache/HBM/DRAM/PMem), GPU (GDDR),
     // CXL expander, SSD, HDD, and a far-memory blade behind the NIC.
-    let (topo, _ids) = disagg_hwsim::presets::single_server();
+    let (topo, _ids) = disagg::presets::single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced());
 
     // Declare the dataflow. Note what is *absent*: no device names, no

@@ -5,14 +5,14 @@
 //!
 //! Run with: `cargo run --example rack_scale`
 
-use disagg_core::prelude::*;
-use disagg_region::migrate::TieringPolicy;
-use disagg_workloads::{dbms, hospital, ml, streaming};
+use disagg::prelude::*;
+use disagg::region::migrate::TieringPolicy;
+use disagg::workloads::{dbms, hospital, ml, streaming};
 
 fn main() {
     // Figure 1b: three lean servers, a pooled fabric, persistent + far
     // blades (the preset adds one of each).
-    let (topo, rack) = disagg_hwsim::presets::disaggregated_rack(3, 16, 3, 128);
+    let (topo, rack) = disagg::presets::disaggregated_rack(3, 16, 3, 128);
     println!(
         "rack: {} compute nodes, {} pool devices, {} total memory",
         rack.cpus.len(),

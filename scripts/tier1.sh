@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every PR must keep green (see ROADMAP.md).
+#
+# Usage:
+#   scripts/tier1.sh             # build + test with network allowed
+#   scripts/tier1.sh --offline   # same, but forbid any crates.io access
+#
+# The workspace has no external dependencies, so --offline must always
+# succeed on a cold cache; CI runs it that way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --offline) CARGO_FLAGS+=(--offline) ;;
+    *)
+      echo "unknown option: $arg" >&2
+      echo "usage: scripts/tier1.sh [--offline]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "==> cargo build --release ${CARGO_FLAGS[*]:-}"
+cargo build --release "${CARGO_FLAGS[@]}"
+
+echo "==> cargo test -q --workspace ${CARGO_FLAGS[*]:-}"
+cargo test -q --workspace "${CARGO_FLAGS[@]}"
+
+echo "tier-1 gate: OK"

@@ -1,10 +1,10 @@
 //! Memory-aware admission control: oversubscribed bursts degrade into
 //! waves instead of failing placement.
 
-use disagg_core::prelude::*;
-use disagg_hwsim::compute::{ComputeKind, ComputeModel};
-use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
-use disagg_hwsim::topology::{LinkKind, Topology};
+use disagg::prelude::*;
+use disagg::hwsim::compute::{ComputeKind, ComputeModel};
+use disagg::hwsim::device::{MemDeviceKind, MemDeviceModel};
+use disagg::hwsim::topology::{LinkKind, Topology};
 
 const GIB: u64 = 1 << 30;
 

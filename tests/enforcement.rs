@@ -1,11 +1,11 @@
 //! Enforcement-path integration tests: the confidential encryption toll,
 //! copy_contents plumbing, and audit bookkeeping.
 
-use disagg_core::prelude::*;
-use disagg_hwsim::compute::{ComputeKind, ComputeModel};
-use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
-use disagg_hwsim::topology::{Endpoint, LinkKind, Topology};
-use disagg_region::region::OwnerId;
+use disagg::prelude::*;
+use disagg::hwsim::compute::{ComputeKind, ComputeModel};
+use disagg::hwsim::device::{MemDeviceKind, MemDeviceModel};
+use disagg::hwsim::topology::{Endpoint, LinkKind, Topology};
+use disagg::region::region::OwnerId;
 
 /// A host whose *only* persistent device is NIC-attached far memory — so a
 /// persistent output is forced beyond the chassis trust boundary.
@@ -19,7 +19,7 @@ fn host_with_only_remote_persistence() -> Topology {
     // synchronous access allowed so an Output region can live there.
     let mut far = MemDeviceModel::preset(MemDeviceKind::FarMemory);
     far.persistent = true;
-    far.sync = disagg_hwsim::device::SyncSupport::Either;
+    far.sync = disagg::hwsim::device::SyncSupport::Either;
     let far = b.mem(blade, far);
     b.link(cpu, dram, LinkKind::MemBus);
     b.link(cpu, Endpoint::Hub(n), LinkKind::PcieCxl);
@@ -70,7 +70,7 @@ fn confidential_data_beyond_the_trust_boundary_pays_the_crypto_toll() {
 
 #[test]
 fn confidential_data_inside_the_chassis_pays_nothing() {
-    let (topo, _) = disagg_hwsim::presets::single_server();
+    let (topo, _) = disagg::presets::single_server();
     let run = |confidential: bool| {
         let mut rt = Runtime::new(topo.clone(), RuntimeConfig::traced());
         let mut j = JobBuilder::new("x");
@@ -94,8 +94,8 @@ fn confidential_data_inside_the_chassis_pays_nothing() {
 
 #[test]
 fn copy_contents_round_trips_across_devices() {
-    let (topo, ids) = disagg_hwsim::presets::single_server();
-    let mut mgr = disagg_region::RegionManager::new(&topo);
+    let (topo, ids) = disagg::presets::single_server();
+    let mut mgr = disagg::region::RegionManager::new(&topo);
     let a = mgr
         .alloc(
             ids.dram,
@@ -140,7 +140,7 @@ fn copy_contents_round_trips_across_devices() {
 
 #[test]
 fn audit_counts_every_placement_in_a_run() {
-    let (topo, _) = disagg_hwsim::presets::single_server();
+    let (topo, _) = disagg::presets::single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced());
     let mut j = JobBuilder::new("audited");
     let a = j.task(
@@ -173,7 +173,7 @@ fn persistent_outputs_are_replicated_across_failure_domains() {
         let pmem = b.mem(host, MemDeviceModel::preset(MemDeviceKind::Pmem));
         let mut far = MemDeviceModel::preset(MemDeviceKind::FarMemory);
         far.persistent = true;
-        far.sync = disagg_hwsim::device::SyncSupport::Either;
+        far.sync = disagg::hwsim::device::SyncSupport::Either;
         let far = b.mem(blade, far);
         b.link(cpu, dram, LinkKind::MemBus);
         b.link(cpu, pmem, LinkKind::MemBus);
@@ -222,8 +222,8 @@ fn persistent_outputs_are_replicated_across_failure_domains() {
 fn replication_degrades_gracefully_when_no_second_domain_exists() {
     // A single-node host has one failure domain: the runtime keeps the
     // primary and reports zero copies instead of failing.
-    use disagg_hwsim::compute::{ComputeKind, ComputeModel};
-    use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
+    use disagg::hwsim::compute::{ComputeKind, ComputeModel};
+    use disagg::hwsim::device::{MemDeviceKind, MemDeviceModel};
     let mut b = Topology::builder();
     let n = b.node("host");
     let cpu = b.compute(n, ComputeModel::preset(ComputeKind::Cpu));

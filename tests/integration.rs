@@ -1,11 +1,11 @@
 //! Cross-crate integration tests: build → place → schedule → execute →
 //! verify, at rack scale and across failure scenarios.
 
-use disagg_core::prelude::*;
-use disagg_hwsim::fault::{FaultEvent, FaultInjector, FaultKind};
-use disagg_hwsim::presets::{disaggregated_rack, single_server};
-use disagg_region::region::OwnerId;
-use disagg_workloads::{dbms, hospital, hpc, ml, streaming, util};
+use disagg::prelude::*;
+use disagg::hwsim::fault::{FaultEvent, FaultInjector, FaultKind};
+use disagg::presets::{disaggregated_rack, single_server};
+use disagg::region::region::OwnerId;
+use disagg::workloads::{dbms, hospital, hpc, ml, streaming, util};
 
 #[test]
 fn all_four_table3_workloads_verify_on_one_runtime() {
@@ -165,7 +165,7 @@ fn confidential_jobs_are_isolated_from_each_other() {
     let err = rt.manager().read(secret, snoop, 0, &mut buf).unwrap_err();
     assert!(matches!(
         err,
-        disagg_region::RegionError::ConfidentialityViolation { .. }
+        disagg::region::RegionError::ConfidentialityViolation { .. }
     ));
 }
 
@@ -212,6 +212,6 @@ fn trace_accounts_for_every_byte_of_a_pipeline() {
     assert_eq!(report.bytes_ownership_transferred, 1 << 16);
     let accesses = rt
         .trace()
-        .count(|e| matches!(e, disagg_hwsim::trace::TraceEvent::Access { .. }));
+        .count(|e| matches!(e, disagg::hwsim::trace::TraceEvent::Access { .. }));
     assert_eq!(accesses, 2);
 }

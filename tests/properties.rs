@@ -1,22 +1,58 @@
-//! Property-based tests over the core invariants (proptest).
+//! Randomized property tests over the core invariants.
+//!
+//! Inputs are generated with the in-repo deterministic [`SimRng`]
+//! (seeded per case, so failures reproduce exactly) instead of an
+//! external property-testing framework — the workspace must build and
+//! test fully offline. Each property runs a quick number of cases by
+//! default; build with `--features heavy-tests` for the deep sweep.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use disagg::ftol::reedsolomon::ReedSolomon;
+use disagg::hwsim::compute::{ComputeKind, ComputeModel};
+use disagg::hwsim::device::{MemDeviceKind, MemDeviceModel};
+use disagg::presets::single_server;
+use disagg::hwsim::rng::SimRng;
+use disagg::hwsim::time::SimTime;
+use disagg::hwsim::topology::{LinkKind, Topology};
+use disagg::region::pool::MemoryPool;
+use disagg::region::props::{AccessMode, PropertySet};
+use disagg::region::region::{OwnerId, RegionManager};
+use disagg::region::typed::RegionType;
+use disagg::sched::placement::{PlacementEngine, PlacementPolicy};
 
-use disagg_ftol::reedsolomon::ReedSolomon;
-use disagg_hwsim::compute::{ComputeKind, ComputeModel};
-use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
-use disagg_hwsim::presets::single_server;
-use disagg_hwsim::rng::SimRng;
-use disagg_hwsim::time::SimTime;
-use disagg_hwsim::topology::{LinkKind, Topology};
-use disagg_region::pool::MemoryPool;
-use disagg_region::props::{AccessMode, PropertySet};
-use disagg_region::region::{OwnerId, RegionManager};
-use disagg_region::typed::RegionType;
-use disagg_sched::placement::{PlacementEngine, PlacementPolicy};
+/// Base seed for every property; change to shake out new cases.
+const MASTER_SEED: u64 = 0xD15A_66ED;
 
-fn small_pool(cap: u64) -> (MemoryPool, disagg_hwsim::ids::MemDeviceId) {
+/// Number of cases to run: the quick default keeps `cargo test -q`
+/// snappy; `--features heavy-tests` restores proptest-scale sweeps.
+fn cases(quick: u64, heavy: u64) -> u64 {
+    if cfg!(feature = "heavy-tests") {
+        heavy
+    } else {
+        quick
+    }
+}
+
+/// Runs `body` once per case with a per-case rng; panics carry the
+/// case seed so any failure is replayable.
+fn for_cases(name: &str, quick: u64, heavy: u64, mut body: impl FnMut(&mut SimRng)) {
+    let mut master = SimRng::new(MASTER_SEED);
+    for case in 0..cases(quick, heavy) {
+        let mut rng = master.fork(case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property {name} failed at case {case} (master seed {MASTER_SEED:#x})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+fn random_bytes(rng: &mut SimRng, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn small_pool(cap: u64) -> (MemoryPool, disagg::hwsim::ids::MemDeviceId) {
     let mut b = Topology::builder();
     let n = b.node("host");
     let cpu = b.compute(n, ComputeModel::preset(ComputeKind::Cpu));
@@ -26,17 +62,18 @@ fn small_pool(cap: u64) -> (MemoryPool, disagg_hwsim::ids::MemDeviceId) {
     (MemoryPool::new(&topo), dram)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The allocator never double-allocates, never exceeds capacity, and
-    /// freeing everything restores the full arena.
-    #[test]
-    fn allocator_conserves_capacity(ops in vec((1u64..4096, any::<bool>()), 1..60)) {
+/// The allocator never double-allocates, never exceeds capacity, and
+/// freeing everything restores the full arena.
+#[test]
+fn allocator_conserves_capacity() {
+    for_cases("allocator_conserves_capacity", 16, 64, |rng| {
+        let n_ops = rng.range(1, 60) as usize;
         let cap = 1 << 20;
         let (mut pool, dev) = small_pool(cap);
-        let mut live: Vec<(disagg_region::RegionId, u64, u64)> = Vec::new();
-        for (size, free_one) in ops {
+        let mut live: Vec<(disagg::region::RegionId, u64, u64)> = Vec::new();
+        for _ in 0..n_ops {
+            let size = rng.range(1, 4096);
+            let free_one = rng.chance(0.5);
             if free_one && !live.is_empty() {
                 let (id, _, _) = live.swap_remove(0);
                 pool.free(id).unwrap();
@@ -44,38 +81,39 @@ proptest! {
                 let p = pool.placement(id).unwrap();
                 // No overlap with any live allocation.
                 for &(_, off, len) in &live {
-                    prop_assert!(p.offset + p.size <= off || off + len <= p.offset,
-                        "overlap: [{}, {}) vs [{}, {})", p.offset, p.offset + p.size, off, off + len);
+                    assert!(
+                        p.offset + p.size <= off || off + len <= p.offset,
+                        "overlap: [{}, {}) vs [{}, {})",
+                        p.offset,
+                        p.offset + p.size,
+                        off,
+                        off + len
+                    );
                 }
                 live.push((id, p.offset, p.size));
             }
             let total: u64 = live.iter().map(|&(_, _, l)| l).sum();
-            prop_assert_eq!(pool.allocated(dev), total);
-            prop_assert!(total <= cap);
+            assert_eq!(pool.allocated(dev), total);
+            assert!(total <= cap);
         }
         for (id, _, _) in live {
             pool.free(id).unwrap();
         }
-        prop_assert_eq!(pool.allocated(dev), 0);
-        prop_assert_eq!(pool.fragmentation(dev), 0.0);
-    }
+        assert_eq!(pool.allocated(dev), 0);
+        assert_eq!(pool.fragmentation(dev), 0.0);
+    });
+}
 
-    /// Reed-Solomon reconstructs any erasure set of size ≤ m, for random
-    /// data, shard geometry, and erased positions.
-    #[test]
-    fn reed_solomon_recovers_any_m_erasures(
-        k in 2usize..8,
-        m in 1usize..4,
-        len in 1usize..200,
-        seed in any::<u64>(),
-    ) {
+/// Reed-Solomon reconstructs any erasure set of size ≤ m, for random
+/// data, shard geometry, and erased positions.
+#[test]
+fn reed_solomon_recovers_any_m_erasures() {
+    for_cases("reed_solomon_recovers_any_m_erasures", 16, 64, |rng| {
+        let k = rng.range(2, 8) as usize;
+        let m = rng.range(1, 4) as usize;
+        let len = rng.range(1, 200) as usize;
         let rs = ReedSolomon::new(k, m).unwrap();
-        let mut rng = SimRng::new(seed);
-        let data: Vec<Vec<u8>> = (0..k).map(|_| {
-            let mut v = vec![0u8; len];
-            rng.fill_bytes(&mut v);
-            v
-        }).collect();
+        let data: Vec<Vec<u8>> = (0..k).map(|_| random_bytes(rng, len)).collect();
         let parity = rs.encode(&data).unwrap();
         let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
 
@@ -88,22 +126,32 @@ proptest! {
         }
         rs.reconstruct(&mut shards).unwrap();
         for i in 0..k + m {
-            prop_assert_eq!(shards[i].as_ref().unwrap(), &full[i], "shard {}", i);
+            assert_eq!(shards[i].as_ref().unwrap(), &full[i], "shard {}", i);
         }
-    }
+    });
+}
 
-    /// Ownership transfer chains preserve contents exactly, and only the
-    /// final owner can read.
-    #[test]
-    fn transfer_chains_preserve_contents(
-        hops in 1u64..8,
-        payload in vec(any::<u8>(), 1..256),
-    ) {
+/// Ownership transfer chains preserve contents exactly, and only the
+/// final owner can read.
+#[test]
+fn transfer_chains_preserve_contents() {
+    for_cases("transfer_chains_preserve_contents", 16, 64, |rng| {
+        let hops = rng.range(1, 8);
+        let payload_len = rng.range(1, 256) as usize;
+        let payload = random_bytes(rng, payload_len);
         let (topo, ids) = single_server();
         let mut mgr = RegionManager::new(&topo);
         let first = OwnerId::Task { job: 0, task: 0 };
-        let r = mgr.alloc(ids.dram, payload.len() as u64, RegionType::Output,
-            PropertySet::new(), first, SimTime::ZERO).unwrap();
+        let r = mgr
+            .alloc(
+                ids.dram,
+                payload.len() as u64,
+                RegionType::Output,
+                PropertySet::new(),
+                first,
+                SimTime::ZERO,
+            )
+            .unwrap();
         mgr.write(r, first, 0, &payload).unwrap();
         let mut owner = first;
         for h in 1..=hops {
@@ -113,22 +161,21 @@ proptest! {
         }
         let mut buf = vec![0u8; payload.len()];
         mgr.read(r, owner, 0, &mut buf).unwrap();
-        prop_assert_eq!(buf, payload);
-        if hops > 0 {
-            let mut buf2 = vec![0u8; 1];
-            prop_assert!(mgr.read(r, first, 0, &mut buf2).is_err());
-        }
-    }
+        assert_eq!(buf, payload);
+        let mut buf2 = vec![0u8; 1];
+        assert!(mgr.read(r, first, 0, &mut buf2).is_err());
+    });
+}
 
-    /// The placement engine never violates hard properties, whatever the
-    /// requested combination.
-    #[test]
-    fn placement_respects_hard_properties(
-        persistent in any::<bool>(),
-        coherent in any::<bool>(),
-        asynchronous in any::<bool>(),
-        size in 1u64..(1 << 30),
-    ) {
+/// The placement engine never violates hard properties, whatever the
+/// requested combination.
+#[test]
+fn placement_respects_hard_properties() {
+    for_cases("placement_respects_hard_properties", 16, 64, |rng| {
+        let persistent = rng.chance(0.5);
+        let coherent = rng.chance(0.5);
+        let asynchronous = rng.chance(0.5);
+        let size = rng.range(1, 1 << 30);
         let (topo, ids) = single_server();
         let pool = MemoryPool::new(&topo);
         let mut engine = PlacementEngine::new(PlacementPolicy::Declarative);
@@ -138,31 +185,34 @@ proptest! {
             .with_mode(if asynchronous { AccessMode::Async } else { AccessMode::Sync });
         if let Some(dev) = engine.choose(&topo, &pool, ids.cpu, &props, size) {
             let model = topo.mem(dev);
-            prop_assert!(!persistent || model.persistent);
-            prop_assert!(!coherent || model.coherent);
-            prop_assert!(asynchronous || model.sync.allows_sync());
+            assert!(!persistent || model.persistent);
+            assert!(!coherent || model.coherent);
+            assert!(asynchronous || model.sync.allows_sync());
             let free = pool.capacity(dev) - pool.allocated(dev);
-            prop_assert!(free >= size);
+            assert!(free >= size);
         }
-    }
+    });
+}
 
-    /// Random DAGs always schedule with precedence respected.
-    #[test]
-    fn random_dags_schedule_with_precedence(
-        n in 2usize..20,
-        edge_seed in any::<u64>(),
-        density in 0.0f64..0.9,
-    ) {
-        use disagg_dataflow::{JobBuilder, TaskSpec};
-        use disagg_sched::schedule::{SchedPolicy, Scheduler};
-        use disagg_core::prelude::{JobId, WorkClass};
+/// Random DAGs always schedule with precedence respected.
+#[test]
+fn random_dags_schedule_with_precedence() {
+    for_cases("random_dags_schedule_with_precedence", 16, 64, |rng| {
+        use disagg::prelude::{JobId, WorkClass};
+        use disagg::dataflow::{JobBuilder, TaskSpec};
+        use disagg::sched::schedule::{SchedPolicy, Scheduler};
 
-        let mut rng = SimRng::new(edge_seed);
+        let n = rng.range(2, 20) as usize;
+        let density = rng.next_f64() * 0.9;
         let mut job = JobBuilder::new("random");
         let ids: Vec<_> = (0..n)
-            .map(|i| job.task(TaskSpec::new(format!("t{i}"))
-                .work(WorkClass::Scalar, 1 + rng.next_below(1_000_000))
-                .output_bytes(rng.next_below(1 << 20))))
+            .map(|i| {
+                job.task(
+                    TaskSpec::new(format!("t{i}"))
+                        .work(WorkClass::Scalar, 1 + rng.next_below(1_000_000))
+                        .output_bytes(rng.next_below(1 << 20)),
+                )
+            })
             .collect();
         // Forward edges only → guaranteed acyclic.
         for i in 0..n {
@@ -175,109 +225,137 @@ proptest! {
         let spec = job.build().unwrap();
         let (topo, _) = single_server();
         let sched = Scheduler::new(SchedPolicy::Heft)
-            .plan(&topo, &[(JobId(0), &spec)]).unwrap();
+            .plan(&topo, &[(JobId(0), &spec)])
+            .unwrap();
         for &id in &ids {
             for &s in spec.dag.successors(id) {
                 let a = sched.entry(JobId(0), id).unwrap();
                 let b = sched.entry(JobId(0), s).unwrap();
-                prop_assert!(a.est_finish <= b.est_start,
-                    "task {} must finish before {} starts", id, s);
+                assert!(
+                    a.est_finish <= b.est_start,
+                    "task {} must finish before {} starts",
+                    id,
+                    s
+                );
             }
         }
-    }
+    });
+}
 
-    /// Topology access costs are monotone in size and never negative.
-    #[test]
-    fn access_costs_are_monotone_in_size(
-        small in 1u64..(1 << 16),
-        factor in 2u64..16,
-    ) {
-        use disagg_hwsim::device::{AccessOp, AccessPattern};
+/// Topology access costs are monotone in size and never negative.
+#[test]
+fn access_costs_are_monotone_in_size() {
+    for_cases("access_costs_are_monotone_in_size", 16, 64, |rng| {
+        use disagg::hwsim::device::{AccessOp, AccessPattern};
+        let small = rng.range(1, 1 << 16);
+        let factor = rng.range(2, 16);
         let (topo, h) = single_server();
         for dev in [h.dram, h.cxl, h.far, h.ssd] {
-            let a = topo.access_cost(h.cpu, dev, small, AccessOp::Read, AccessPattern::Sequential).unwrap();
-            let b = topo.access_cost(h.cpu, dev, small * factor, AccessOp::Read, AccessPattern::Sequential).unwrap();
-            prop_assert!(b >= a, "{dev:?}: {b:?} < {a:?} for larger size");
+            let a = topo
+                .access_cost(h.cpu, dev, small, AccessOp::Read, AccessPattern::Sequential)
+                .unwrap();
+            let b = topo
+                .access_cost(
+                    h.cpu,
+                    dev,
+                    small * factor,
+                    AccessOp::Read,
+                    AccessPattern::Sequential,
+                )
+                .unwrap();
+            assert!(b >= a, "{dev:?}: {b:?} < {a:?} for larger size");
         }
-    }
+    });
+}
 
-    /// The contention ledger is monotone: a reservation never finishes
-    /// before it starts, and later identical reservations never finish
-    /// earlier than earlier ones.
-    #[test]
-    fn ledger_is_monotone(
-        reservations in vec((0u64..100_000, 1u64..100_000), 1..40),
-    ) {
-        use disagg_hwsim::contention::{BandwidthLedger, ResourceKey};
-        use disagg_hwsim::ids::MemDeviceId;
+/// The contention ledger is monotone: a reservation never finishes
+/// before it starts.
+#[test]
+fn ledger_is_monotone() {
+    for_cases("ledger_is_monotone", 16, 64, |rng| {
+        use disagg::hwsim::contention::{BandwidthLedger, ResourceKey};
+        use disagg::hwsim::ids::MemDeviceId;
+        let n = rng.range(1, 40) as usize;
+        let mut reservations: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.next_below(100_000), rng.range(1, 100_000)))
+            .collect();
+        reservations.sort();
         let mut ledger = BandwidthLedger::new(1_000);
         let key = ResourceKey::Mem(MemDeviceId(0));
-        let mut sorted = reservations.clone();
-        sorted.sort();
-        let mut last_finish = SimTime::ZERO;
-        for (start, bytes) in sorted {
+        for (start, bytes) in reservations {
             let fin = ledger.reserve(key, SimTime(start), bytes as f64, 10.0);
-            prop_assert!(fin >= SimTime(start));
-            prop_assert!(fin >= last_finish || fin >= SimTime(start),
-                "finishes should not regress arbitrarily");
-            last_finish = fin;
+            assert!(fin >= SimTime(start));
         }
-    }
+    });
+}
 
-    /// Region reads after writes round-trip at any offset (dense and
-    /// sparse backings).
-    #[test]
-    fn region_rw_round_trips(
-        region_mib in 1u64..129,
-        offset_frac in 0.0f64..0.95,
-        payload in vec(any::<u8>(), 1..512),
-    ) {
+/// Region reads after writes round-trip at any offset (dense and
+/// sparse backings).
+#[test]
+fn region_rw_round_trips() {
+    for_cases("region_rw_round_trips", 8, 64, |rng| {
+        let region_mib = rng.range(1, 129);
+        let offset_frac = rng.next_f64() * 0.95;
+        let payload_len = rng.range(1, 512) as usize;
+        let payload = random_bytes(rng, payload_len);
         let (topo, ids) = single_server();
         let mut mgr = RegionManager::new(&topo);
         let size = region_mib << 20; // Crosses the 64 MiB dense/sparse divide.
-        let r = mgr.alloc(ids.cxl, size, RegionType::GlobalScratch,
-            PropertySet::new(), OwnerId::App, SimTime::ZERO).unwrap();
+        let r = mgr
+            .alloc(
+                ids.cxl,
+                size,
+                RegionType::GlobalScratch,
+                PropertySet::new(),
+                OwnerId::App,
+                SimTime::ZERO,
+            )
+            .unwrap();
         let offset = ((size - payload.len() as u64) as f64 * offset_frac) as u64;
         mgr.write(r, OwnerId::App, offset, &payload).unwrap();
         let mut buf = vec![0u8; payload.len()];
         mgr.read(r, OwnerId::App, offset, &mut buf).unwrap();
-        prop_assert_eq!(buf, payload);
-    }
+        assert_eq!(buf, payload);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// The striped heap conserves live objects through arbitrary
+/// put/delete/compact sequences, and compaction always zeroes the
+/// dead count.
+#[test]
+fn striped_heap_conserves_live_objects() {
+    for_cases("striped_heap_conserves_live_objects", 12, 32, |rng| {
+        use disagg::ftol::heap::StripedHeap;
+        use disagg::hwsim::contention::BandwidthLedger;
+        use disagg::hwsim::fault::FaultInjector;
+        use disagg::presets::disaggregated_rack;
 
-    /// The striped heap conserves live objects through arbitrary
-    /// put/delete/compact sequences, and compaction always zeroes the
-    /// dead count.
-    #[test]
-    fn striped_heap_conserves_live_objects(
-        ops in vec((0u8..10, 1usize..400), 1..40),
-        seed in any::<u64>(),
-    ) {
-        use disagg_ftol::heap::StripedHeap;
-        use disagg_hwsim::contention::BandwidthLedger;
-        use disagg_hwsim::fault::FaultInjector;
-        use disagg_hwsim::presets::disaggregated_rack;
-
+        let n_ops = rng.range(1, 40) as usize;
         let (topo, rack) = disaggregated_rack(2, 32, 4, 64);
         let mut mgr = RegionManager::new(&topo);
         let mut ledger = BandwidthLedger::default_buckets();
         let mut heap = StripedHeap::create(
-            &mut mgr, &topo, &rack.pool[..4], 16_000, 3, 1, OwnerId::App, SimTime::ZERO,
-        ).unwrap();
+            &mut mgr,
+            &topo,
+            &rack.pool[..4],
+            16_000,
+            3,
+            1,
+            OwnerId::App,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let calm = FaultInjector::none();
-        let mut rng = SimRng::new(seed);
-        let mut model: std::collections::BTreeMap<disagg_ftol::heap::ObjId, Vec<u8>> =
+        let mut model: std::collections::BTreeMap<disagg::ftol::heap::ObjId, Vec<u8>> =
             Default::default();
 
-        for (op, size) in ops {
+        for _ in 0..n_ops {
+            let op = rng.next_below(10) as u8;
+            let size = rng.range(1, 400) as usize;
             match op {
                 0..=5 => {
                     // Put (compact first if the tail is exhausted).
-                    let mut data = vec![0u8; size];
-                    rng.fill_bytes(&mut data);
+                    let data = random_bytes(rng, size);
                     if heap.free_tail() < size as u64 {
                         heap.compact(&mut mgr, &topo, &mut ledger, SimTime(1)).unwrap();
                     }
@@ -297,11 +375,11 @@ proptest! {
                 }
                 _ => {
                     heap.compact(&mut mgr, &topo, &mut ledger, SimTime(1)).unwrap();
-                    prop_assert_eq!(heap.dead_bytes(), 0);
+                    assert_eq!(heap.dead_bytes(), 0);
                 }
             }
-            prop_assert_eq!(heap.len(), model.len());
-            prop_assert_eq!(
+            assert_eq!(heap.len(), model.len());
+            assert_eq!(
                 heap.live_bytes(),
                 model.values().map(|d| d.len() as u64).sum::<u64>()
             );
@@ -311,28 +389,27 @@ proptest! {
             let (got, _, _) = heap
                 .get(&mgr, &topo, &mut ledger, &calm, id, SimTime(2))
                 .unwrap();
-            prop_assert_eq!(&got, data);
+            assert_eq!(&got, data);
         }
-    }
+    });
+}
 
-    /// Tiering plans never violate declared properties, whatever the
-    /// hotness distribution: a persistent region never lands on volatile
-    /// memory, a sync region never on async-only storage.
-    #[test]
-    fn tiering_never_violates_properties(
-        heats in vec(0u32..60, 4..20),
-        seed in any::<u64>(),
-    ) {
-        use disagg_region::hotness::HotnessTracker;
-        use disagg_region::migrate::TieringPolicy;
+/// Tiering plans never violate declared properties, whatever the
+/// hotness distribution: a persistent region never lands on volatile
+/// memory, a sync region never on async-only storage.
+#[test]
+fn tiering_never_violates_properties() {
+    for_cases("tiering_never_violates_properties", 12, 32, |rng| {
+        use disagg::region::hotness::HotnessTracker;
+        use disagg::region::migrate::TieringPolicy;
 
+        let n_regions = rng.range(4, 20) as usize;
         let (topo, ids) = single_server();
         let mut mgr = RegionManager::new(&topo);
-        let mut rng = SimRng::new(seed);
         let mut tracker = HotnessTracker::new();
         let homes = [ids.dram, ids.pmem, ids.cxl, ids.far, ids.ssd];
-        let mut regions = Vec::new();
-        for (i, &heat) in heats.iter().enumerate() {
+        for i in 0..n_regions {
+            let heat = rng.next_below(60) as u32;
             // Mix persistent and volatile, sync and async regions.
             let persistent = i % 3 == 0;
             let asynchronous = i % 2 == 0;
@@ -350,73 +427,61 @@ proptest! {
             for _ in 0..heat {
                 tracker.record(r, 64, SimTime(1));
             }
-            regions.push(r);
         }
         let policy = TieringPolicy::by_latency(&topo);
         for (id, target) in policy.plan(&mgr, &topo, &tracker) {
             let meta = mgr.meta(id).unwrap();
             let dev = topo.mem(target);
-            prop_assert!(!meta.props.persistent || dev.persistent,
-                "persistent region planned onto volatile {target:?}");
-            prop_assert!(
+            assert!(
+                !meta.props.persistent || dev.persistent,
+                "persistent region planned onto volatile {target:?}"
+            );
+            assert!(
                 meta.props.mode != AccessMode::Sync || dev.sync.allows_sync(),
                 "sync region planned onto async-only {target:?}"
             );
         }
-    }
+    });
+}
 
-    /// Admission control always runs every job exactly once, whatever
-    /// the demand mix and watermark.
-    #[test]
-    fn admission_runs_every_job_once(
-        demands in vec(1u64..(3 << 30), 1..8),
-        watermark in 0.3f64..1.0,
-    ) {
-        use disagg_core::prelude::*;
+/// Admission control always runs every job exactly once, whatever
+/// the demand mix and watermark.
+#[test]
+fn admission_runs_every_job_once() {
+    for_cases("admission_runs_every_job_once", 12, 32, |rng| {
+        use disagg::prelude::*;
+        let n_jobs = rng.range(1, 8) as usize;
+        let watermark = 0.3 + rng.next_f64() * 0.7;
         let (topo, _) = single_server();
-        let mut rt = Runtime::new(
-            topo,
-            RuntimeConfig::traced().with_admission(watermark),
-        );
-        let jobs: Vec<JobSpec> = demands
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| {
+        let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_admission(watermark));
+        let jobs: Vec<JobSpec> = (0..n_jobs)
+            .map(|i| {
+                let d = rng.range(1, 3 << 30);
                 let mut j = JobBuilder::new(format!("j{i}"));
-                j.task(
-                    TaskSpec::new("t")
-                        .private_scratch(d)
-                        .body(|ctx| {
-                            ctx.scratch_write(0, &[1u8; 16])?;
-                            Ok(())
-                        }),
-                );
+                j.task(TaskSpec::new("t").private_scratch(d).body(|ctx| {
+                    ctx.scratch_write(0, &[1u8; 16])?;
+                    Ok(())
+                }));
                 j.build().unwrap()
             })
             .collect();
-        let n = jobs.len();
         let report = rt.run(jobs).unwrap();
-        prop_assert_eq!(report.tasks.len(), n);
-        prop_assert_eq!(rt.manager().live_count(), 0);
-    }
+        assert_eq!(report.tasks.len(), n_jobs);
+        assert_eq!(rt.manager().live_count(), 0);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The executor never panics on random jobs: it either runs them or
+/// returns a structured error; afterwards only persistent outputs may
+/// survive in the pool.
+#[test]
+fn executor_is_total_over_random_jobs() {
+    for_cases("executor_is_total_over_random_jobs", 12, 24, |rng| {
+        use disagg::prelude::*;
+        use disagg::hwsim::compute::{ComputeKind, WorkClass};
 
-    /// The executor never panics on random jobs: it either runs them or
-    /// returns a structured error; afterwards only persistent outputs may
-    /// survive in the pool.
-    #[test]
-    fn executor_is_total_over_random_jobs(
-        n_tasks in 1usize..8,
-        seed in any::<u64>(),
-        density in 0.0f64..0.8,
-    ) {
-        use disagg_core::prelude::*;
-        use disagg_hwsim::compute::{ComputeKind, WorkClass};
-
-        let mut rng = SimRng::new(seed);
+        let n_tasks = rng.range(1, 8) as usize;
+        let density = rng.next_f64() * 0.8;
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
 
@@ -473,9 +538,9 @@ proptest! {
         let spec = job.build().unwrap();
         match rt.submit(spec) {
             Ok(report) => {
-                prop_assert_eq!(report.tasks.len(), n_tasks);
+                assert_eq!(report.tasks.len(), n_tasks);
                 // Persistent sinks with outputs survive; nothing else.
-                prop_assert!(rt.manager().live_count() <= persistent_sinks);
+                assert!(rt.manager().live_count() <= persistent_sinks);
             }
             Err(e) => {
                 // Structured failure is acceptable (e.g. a task with a
@@ -483,25 +548,20 @@ proptest! {
                 let _ = e.to_string();
             }
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Shortest-path resolution over random topologies is symmetric
+/// (undirected links) and obeys the triangle inequality on latency.
+#[test]
+fn topology_paths_are_symmetric_and_triangular() {
+    for_cases("topology_paths_are_symmetric_and_triangular", 16, 48, |rng| {
+        use disagg::hwsim::compute::{ComputeKind, ComputeModel};
+        use disagg::hwsim::device::{MemDeviceKind, MemDeviceModel};
+        use disagg::hwsim::topology::{LinkKind, Topology};
 
-    /// Shortest-path resolution over random topologies is symmetric
-    /// (undirected links) and obeys the triangle inequality on latency.
-    #[test]
-    fn topology_paths_are_symmetric_and_triangular(
-        n_mem in 2usize..7,
-        extra_links in 0usize..8,
-        seed in any::<u64>(),
-    ) {
-        use disagg_hwsim::compute::{ComputeKind, ComputeModel};
-        use disagg_hwsim::device::{MemDeviceKind, MemDeviceModel};
-        use disagg_hwsim::topology::{LinkKind, Topology};
-
-        let mut rng = SimRng::new(seed);
+        let n_mem = rng.range(2, 7) as usize;
+        let extra_links = rng.next_below(8) as usize;
         let mut b = Topology::builder();
         let node = b.node("host");
         let cpu = b.compute(node, ComputeModel::preset(ComputeKind::Cpu));
@@ -539,7 +599,7 @@ proptest! {
             for &c in &mems {
                 let ab = topo.mem_path(a, c).expect("connected");
                 let ba = topo.mem_path(c, a).expect("connected");
-                prop_assert!(
+                assert!(
                     (ab.latency_ns - ba.latency_ns).abs() < 1e-9,
                     "asymmetric latency {a:?}→{c:?}: {} vs {}",
                     ab.latency_ns,
@@ -548,7 +608,7 @@ proptest! {
                 for &via in &mems {
                     let av = topo.mem_path(a, via).expect("connected");
                     let vc = topo.mem_path(via, c).expect("connected");
-                    prop_assert!(
+                    assert!(
                         ab.latency_ns <= av.latency_ns + vc.latency_ns + 1e-9,
                         "triangle violated: {a:?}→{c:?} {} > via {via:?} {}",
                         ab.latency_ns,
@@ -557,5 +617,5 @@ proptest! {
                 }
             }
         }
-    }
+    });
 }
