@@ -120,6 +120,29 @@ fn schedule_dag() {
     });
 }
 
+/// Event-loop throughput on the rack-scale preset: the stress batch
+/// from the parallel driver, reported as events/sec (the executor's
+/// unit of work). Compare against `driver::BASELINE_TASKS_PER_SEC` for
+/// the pre-refactor trajectory.
+fn events_per_sec() {
+    use disagg_bench::driver;
+    let opts = BenchOpts {
+        warmup_iters: 1,
+        max_iters: 5,
+        ..BenchOpts::default()
+    };
+    let (jobs, layers, width) = (8, 16, 16);
+    let mut last = (0usize, 0u64, std::time::Duration::ZERO);
+    let stats = bench_named("executor/rack_stress_8x16x16", opts, || {
+        last = driver::stress_run(jobs, layers, width);
+    });
+    let (tasks, events, _) = last;
+    let eps = events as f64 / stats.min.as_secs_f64();
+    println!(
+        "executor/events_per_sec            {tasks} tasks, {events} events → {eps:.0} events/sec (best iter)"
+    );
+}
+
 fn end_to_end() {
     let opts = BenchOpts {
         max_iters: 10,
@@ -147,5 +170,6 @@ fn main() {
     reed_solomon();
     cipher();
     schedule_dag();
+    events_per_sec();
     end_to_end();
 }

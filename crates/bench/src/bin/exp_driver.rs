@@ -1,0 +1,114 @@
+//! Parallel experiment driver: fans the `exp_*` suite across cores,
+//! measures simulator throughput, and emits `BENCH_disagg.json`.
+//!
+//! Stdout carries only the deterministic experiment tables (in registry
+//! order — byte-identical between serial and parallel runs, and across
+//! repeated runs). Timing lives on stderr and in the JSON record.
+//!
+//! Flags:
+//!   --quick          shrink workloads (CI mode)
+//!   --serial         run on one thread (reference path)
+//!   --threads N      worker count (default: available parallelism)
+//!   --only a,b       run only the listed experiment ids
+//!   --json PATH      where to write the benchmark record
+//!                    (default BENCH_disagg.json; --no-json disables)
+//!   --no-thru        skip the throughput measurement
+//!   --verify         additionally run serially and fail (exit 1) if
+//!                    parallel output is not byte-identical
+
+use std::io::Write;
+
+use disagg_bench::driver;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let quick = flag("--quick");
+    let verify = flag("--verify");
+    let no_json = flag("--no-json");
+    let no_thru = flag("--no-thru");
+    let json_path = value("--json").unwrap_or_else(|| "BENCH_disagg.json".to_string());
+    let threads = if flag("--serial") {
+        1
+    } else {
+        value("--threads")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    };
+    let only: Vec<String> = value("--only")
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+        .unwrap_or_default();
+
+    let t0 = std::time::Instant::now();
+    let results = driver::run_experiments(&only, quick, threads);
+    if results.is_empty() && !only.is_empty() {
+        eprintln!("no experiment matches --only {}", only.join(","));
+        std::process::exit(2);
+    }
+    for r in &results {
+        print!("{}", r.output);
+        println!();
+        eprintln!("{:<10} {:>10.3}s", r.id, r.wall.as_secs_f64());
+    }
+    eprintln!(
+        "suite: {} experiments on {} thread(s) in {:.3}s",
+        results.len(),
+        threads,
+        t0.elapsed().as_secs_f64()
+    );
+
+    if verify {
+        let serial = driver::run_experiments(&only, quick, 1);
+        let parallel_out: String = results.iter().map(|r| r.output.as_str()).collect();
+        let serial_out: String = serial.iter().map(|r| r.output.as_str()).collect();
+        if parallel_out != serial_out {
+            eprintln!("VERIFY FAILED: parallel output differs from serial run");
+            std::process::exit(1);
+        }
+        eprintln!("verify: parallel output byte-identical to serial");
+    }
+
+    let throughputs: Vec<driver::Throughput> = if no_thru {
+        Vec::new()
+    } else {
+        let reps = if quick { 1 } else { 3 };
+        driver::throughput_suite(quick)
+            .into_iter()
+            .map(|(j, l, w)| {
+                let t = driver::measure_throughput(j, l, w, reps);
+                eprintln!(
+                    "throughput {}: {} tasks, {} events, {:.4}s → {:.0} events/sec ({:.0} tasks/sec)",
+                    t.name,
+                    t.tasks,
+                    t.events,
+                    t.wall.as_secs_f64(),
+                    t.events_per_sec(),
+                    t.tasks_per_sec()
+                );
+                t
+            })
+            .collect()
+    };
+
+    if !no_json {
+        let json = driver::bench_json(&results, &throughputs, quick, threads);
+        match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+            Ok(()) => eprintln!("wrote {json_path}"),
+            Err(e) => {
+                eprintln!("failed to write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

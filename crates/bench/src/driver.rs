@@ -1,0 +1,296 @@
+//! Parallel experiment driver.
+//!
+//! Virtual time is single-threaded by design — one event loop per
+//! [`Runtime`] keeps the simulation bit-for-bit deterministic. Sweeps
+//! are not: the 16 `exp_*` experiments and intra-experiment config
+//! sweeps are independent simulations, so the driver fans them across
+//! cores with `std::thread::scope` (no external dependencies) and
+//! merges results back in submission order. The merge is index-stable:
+//! result `i` always lands in slot `i` no matter which worker finishes
+//! first, so parallel output is byte-identical to a serial run.
+//!
+//! The driver also measures simulator throughput (events/sec of the
+//! executor's event loop on a rack-scale stress batch) and emits a
+//! machine-readable `BENCH_disagg.json` so successive PRs accumulate a
+//! performance trajectory.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use disagg_core::prelude::{Runtime, RuntimeConfig};
+use disagg_dataflow::job::JobSpec;
+use disagg_dataflow::task::TaskId;
+use disagg_dataflow::{JobBuilder, TaskSpec};
+use disagg_hwsim::compute::WorkClass;
+use disagg_hwsim::presets::disaggregated_rack;
+
+use crate::exp;
+
+/// Order-preserving parallel map: runs `f` over `items` on up to
+/// `threads` workers and returns results in input order. `threads <= 1`
+/// degenerates to a serial loop (the byte-identical reference path).
+pub fn sweep<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("claimed once");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// One experiment's outcome: rendered table plus its wall-clock.
+#[derive(Debug, Clone)]
+pub struct ExpResult {
+    /// Experiment id ("table1", "fig4", ...).
+    pub id: &'static str,
+    /// The rendered ASCII table (deterministic; what gets printed).
+    pub output: String,
+    /// Host wall-clock the experiment took.
+    pub wall: Duration,
+}
+
+/// Runs the experiment suite — all of it, or the ids in `only` — across
+/// `threads` workers. Results come back in registry order regardless of
+/// completion order.
+pub fn run_experiments(only: &[String], quick: bool, threads: usize) -> Vec<ExpResult> {
+    let suite: Vec<exp::Experiment> = exp::all()
+        .into_iter()
+        .filter(|(id, _)| only.is_empty() || only.iter().any(|o| o == id))
+        .collect();
+    sweep(suite, threads, |(id, runner)| {
+        let t = Instant::now();
+        let table = runner(quick);
+        ExpResult { id, output: table.render(), wall: t.elapsed() }
+    })
+}
+
+/// The rack-scale event-loop stress workload: `jobs` layered DAGs of
+/// `layers`×`width` small tasks each, every non-source task depending
+/// on two tasks of the previous layer.
+pub fn stress_jobs(jobs: usize, layers: usize, width: usize) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|j| {
+            let mut job = JobBuilder::new(format!("sweep{j}"));
+            let mut prev: Vec<TaskId> = Vec::new();
+            for l in 0..layers {
+                let cur: Vec<_> = (0..width)
+                    .map(|i| {
+                        job.task(
+                            TaskSpec::new(format!("t{l}_{i}"))
+                                .work(WorkClass::Scalar, 10_000)
+                                .output_bytes(4096),
+                        )
+                    })
+                    .collect();
+                for (i, &t) in cur.iter().enumerate() {
+                    if l > 0 {
+                        job.edge(prev[i % prev.len()], t);
+                        job.edge(prev[(i + 1) % prev.len()], t);
+                    }
+                }
+                prev = cur;
+            }
+            job.build().expect("stress job is a valid DAG")
+        })
+        .collect()
+}
+
+/// Simulator throughput on one stress configuration.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    /// Configuration label, e.g. `"j8_l16_w16"`.
+    pub name: String,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Executor event-loop events processed.
+    pub events: u64,
+    /// Best wall-clock over the measurement repetitions.
+    pub wall: Duration,
+}
+
+impl Throughput {
+    /// Events per host second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Tasks per host second.
+    pub fn tasks_per_sec(&self) -> f64 {
+        self.tasks as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Runs the stress batch once on the rack-scale preset and returns
+/// `(tasks, events, wall)`.
+pub fn stress_run(jobs: usize, layers: usize, width: usize) -> (usize, u64, Duration) {
+    let (topo, _rack) = disaggregated_rack(4, 16, 4, 256);
+    let mut rt = Runtime::new(topo, RuntimeConfig::default());
+    let batch = stress_jobs(jobs, layers, width);
+    let t = Instant::now();
+    let report = rt.run(batch).expect("stress batch runs");
+    (report.tasks.len(), report.events, t.elapsed())
+}
+
+/// Best-of-`reps` throughput for one stress configuration.
+pub fn measure_throughput(jobs: usize, layers: usize, width: usize, reps: usize) -> Throughput {
+    let mut best: Option<(usize, u64, Duration)> = None;
+    for _ in 0..reps.max(1) {
+        let r = stress_run(jobs, layers, width);
+        if best.as_ref().map(|b| r.2 < b.2).unwrap_or(true) {
+            best = Some(r);
+        }
+    }
+    let (tasks, events, wall) = best.expect("at least one rep");
+    Throughput { name: format!("j{jobs}_l{layers}_w{width}"), tasks, events, wall }
+}
+
+/// Pre-refactor (seed executor) tasks/sec on the same stress configs and
+/// host class, captured before this PR's hot-path work landed. The event
+/// sequence per workload is unchanged (bit-for-bit identical reports),
+/// so tasks/sec ratios equal events/sec ratios.
+pub const BASELINE_TASKS_PER_SEC: [(&str, f64); 3] = [
+    ("j4_l8_w8", 142_951.0),
+    ("j8_l16_w16", 116_836.0),
+    ("j16_l24_w24", 79_527.0),
+];
+
+/// The stress configurations the driver measures (quick keeps only the
+/// smallest).
+pub fn throughput_suite(quick: bool) -> Vec<(usize, usize, usize)> {
+    if quick {
+        vec![(4, 8, 8)]
+    } else {
+        vec![(4, 8, 8), (8, 16, 16), (16, 24, 24)]
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders the machine-readable benchmark record (`BENCH_disagg.json`).
+/// Hand-rolled JSON keeps the workspace dependency-free.
+pub fn bench_json(
+    experiments: &[ExpResult],
+    throughputs: &[Throughput],
+    quick: bool,
+    threads: usize,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"disagg-bench-v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"throughput\": [\n");
+    for (i, t) in throughputs.iter().enumerate() {
+        let baseline = BASELINE_TASKS_PER_SEC
+            .iter()
+            .find(|(n, _)| *n == t.name)
+            .map(|&(_, b)| b);
+        let speedup = baseline.map(|b| t.tasks_per_sec() / b);
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"tasks\": {}, \"events\": {}, \"wall_s\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"tasks_per_sec\": {:.0}, \
+             \"baseline_tasks_per_sec\": {}, \"speedup_vs_seed\": {}}}{}\n",
+            json_escape(&t.name),
+            t.tasks,
+            t.events,
+            t.wall.as_secs_f64(),
+            t.events_per_sec(),
+            t.tasks_per_sec(),
+            baseline.map(|b| format!("{b:.0}")).unwrap_or_else(|| "null".into()),
+            speedup.map(|s| format!("{s:.2}")).unwrap_or_else(|| "null".into()),
+            if i + 1 < throughputs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"experiments\": [\n");
+    for (i, e) in experiments.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_s\": {:.6}}}{}\n",
+            json_escape(e.id),
+            e.wall.as_secs_f64(),
+            if i + 1 < experiments.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let doubled = sweep(items.clone(), 8, |i| i * 2);
+        assert_eq!(doubled, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        let serial = sweep(items.clone(), 1, |i| i * 2);
+        assert_eq!(doubled, serial);
+    }
+
+    #[test]
+    fn stress_batch_is_deterministic() {
+        let a = stress_run(2, 3, 3);
+        let b = stress_run(2, 3, 3);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0, 2 * 3 * 3, "every stress task executes");
+        assert!(a.1 >= a.0 as u64, "at least one event per task");
+    }
+
+    #[test]
+    fn bench_json_is_well_formed_enough() {
+        let thru = vec![Throughput {
+            name: "j4_l8_w8".into(),
+            tasks: 256,
+            events: 1024,
+            wall: Duration::from_millis(2),
+        }];
+        let exps = vec![ExpResult {
+            id: "table1",
+            output: String::new(),
+            wall: Duration::from_millis(1),
+        }];
+        let s = bench_json(&exps, &thru, true, 4);
+        assert!(s.contains("\"schema\": \"disagg-bench-v1\""));
+        assert!(s.contains("\"name\": \"j4_l8_w8\""));
+        assert!(s.contains("\"speedup_vs_seed\""));
+        assert!(s.contains("\"id\": \"table1\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+}

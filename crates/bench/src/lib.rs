@@ -23,6 +23,7 @@
 //! | [`exp::tiering`] | hotness-driven tiering (Challenges 1-3) | `exp_tiering` |
 //! | [`exp::ablation`] | design-choice ablations | `exp_ablation` |
 
+pub mod driver;
 pub mod exp;
 pub mod harness;
 

@@ -1,0 +1,38 @@
+//! Parallel driver determinism: fanning the experiment suite across
+//! worker threads must not change a single output byte relative to the
+//! serial reference path, and repeated runs must agree with themselves.
+
+use disagg_bench::driver;
+
+fn ids(results: &[driver::ExpResult]) -> Vec<&'static str> {
+    results.iter().map(|r| r.id).collect()
+}
+
+fn outputs(results: &[driver::ExpResult]) -> Vec<String> {
+    results.iter().map(|r| r.output.clone()).collect()
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    let only: Vec<String> = vec!["table2".into(), "fig4".into()];
+    let serial = driver::run_experiments(&only, true, 1);
+    let parallel = driver::run_experiments(&only, true, 4);
+    assert_eq!(ids(&serial), vec!["table2", "fig4"], "registry order preserved");
+    assert_eq!(ids(&serial), ids(&parallel));
+    assert_eq!(outputs(&serial), outputs(&parallel));
+    assert!(serial.iter().all(|r| !r.output.is_empty()));
+}
+
+#[test]
+fn repeated_parallel_runs_agree() {
+    let only: Vec<String> = vec!["table2".into(), "fig4".into()];
+    let a = driver::run_experiments(&only, true, 4);
+    let b = driver::run_experiments(&only, true, 4);
+    assert_eq!(outputs(&a), outputs(&b));
+}
+
+#[test]
+fn unknown_only_filter_yields_empty_suite() {
+    let only: Vec<String> = vec!["no-such-exp".into()];
+    assert!(driver::run_experiments(&only, true, 2).is_empty());
+}

@@ -22,6 +22,16 @@
 //! number, queue pops break policy ties by (queue time, job, task), and
 //! the bandwidth ledger is charged in event order — two runs of the
 //! same submission produce identical reports.
+//!
+//! # Hot-path layout
+//!
+//! Per-task state is kept in dense arenas indexed by a one-time global
+//! task numbering (`task_base[ji] + task.index()`), not `(job, task)`
+//! hash maps: dependency counts, pending inputs, and start/finish times
+//! are all O(1) array hits. Deferred task exits live in a min-heap
+//! ordered by `(finish, seq)` — the stable insertion-order tie-break
+//! reproduces the old sort-then-drain semantics without ever re-sorting
+//! inside the event loop.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -104,23 +114,31 @@ struct Wave {
     schedule: Schedule,
     heap: BinaryHeap<Reverse<(SimTime, u64, EventKind)>>,
     seq: u64,
-    /// Unsatisfied incoming-edge counts, per job then task.
-    deps_left: Vec<Vec<usize>>,
+    /// Global task numbering: task `(ji, t)` owns arena slot
+    /// `task_base[ji] + t.index()`.
+    task_base: Vec<usize>,
+    /// Unsatisfied incoming-edge counts, indexed by global task number.
+    deps_left: Vec<u32>,
     /// Per-device ready queues.
     queues: Vec<Vec<Queued>>,
     /// Per-device lane free times.
     lane_free: Vec<Vec<SimTime>>,
     /// Task-exit cleanup deferred until virtual time passes the task's
     /// finish: tasks overlapping in virtual time must have overlapping
-    /// footprints in the pool.
-    pending_exits: Vec<(SimTime, OwnerId)>,
-    /// Handed-over input regions awaiting each consumer.
-    inputs: HashMap<(usize, TaskId), Vec<RegionId>>,
-    start_at: HashMap<(usize, TaskId), SimTime>,
-    finish_at: HashMap<(usize, TaskId), SimTime>,
-    /// Job-scoped published-region maps.
+    /// footprints in the pool. Min-heap on `(finish, seq)`; the seq
+    /// tie-break preserves insertion order among equal finish times.
+    pending_exits: BinaryHeap<Reverse<(SimTime, u64, OwnerId)>>,
+    exit_seq: u64,
+    /// Handed-over input regions awaiting each consumer (global task
+    /// number).
+    inputs: Vec<Vec<RegionId>>,
+    start_at: Vec<SimTime>,
+    finish_at: Vec<SimTime>,
+    /// Job-scoped published-region maps (user-facing string keys).
     published: Vec<HashMap<String, RegionId>>,
     global_state: Vec<Option<RegionId>>,
+    /// Events popped off the heap (the loop's unit of work).
+    events: u64,
     report: RunReport,
 }
 
@@ -128,6 +146,16 @@ impl Wave {
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         self.heap.push(Reverse((at, self.seq, kind)));
         self.seq += 1;
+    }
+
+    /// Global arena slot of a task.
+    fn gx(&self, ji: usize, task: TaskId) -> usize {
+        self.task_base[ji] + task.index()
+    }
+
+    fn defer_exit(&mut self, finish: SimTime, who: OwnerId) {
+        self.pending_exits.push(Reverse((finish, self.exit_seq, who)));
+        self.exit_seq += 1;
     }
 }
 
@@ -194,12 +222,25 @@ pub(crate) fn run_wave(
         global_state[ji] = Some(id);
     }
 
+    // One-time global task numbering: per-job offsets into flat arenas.
+    let mut task_base = Vec::with_capacity(jobs.len());
+    let mut total_tasks = 0usize;
+    for spec in &jobs {
+        task_base.push(total_tasks);
+        total_tasks += spec.tasks.len();
+    }
+    let mut deps_left = Vec::with_capacity(total_tasks);
+    for spec in &jobs {
+        deps_left.extend(spec.dag.indegrees().into_iter().map(|d| d as u32));
+    }
+
     let mut w = Wave {
         job_ids,
         schedule,
         heap: BinaryHeap::new(),
         seq: 0,
-        deps_left: jobs.iter().map(|s| s.dag.indegrees()).collect(),
+        task_base,
+        deps_left,
         queues: vec![Vec::new(); rt.topo.compute_devices().len()],
         lane_free: rt
             .topo
@@ -207,12 +248,14 @@ pub(crate) fn run_wave(
             .iter()
             .map(|m| vec![t0; m.slots as usize])
             .collect(),
-        pending_exits: Vec::new(),
-        inputs: HashMap::new(),
-        start_at: HashMap::new(),
-        finish_at: HashMap::new(),
+        pending_exits: BinaryHeap::new(),
+        exit_seq: 0,
+        inputs: vec![Vec::new(); total_tasks],
+        start_at: vec![SimTime::ZERO; total_tasks],
+        finish_at: vec![SimTime::ZERO; total_tasks],
         published: jobs.iter().map(|_| HashMap::new()).collect(),
         global_state,
+        events: 0,
         report: RunReport::default(),
     };
 
@@ -227,30 +270,29 @@ pub(crate) fn run_wave(
 
     // The event loop: strictly non-decreasing virtual time.
     while let Some(Reverse((at, _, kind))) = w.heap.pop() {
+        w.events += 1;
         match kind {
             EventKind::Ready { ji, task } => enqueue(rt, &mut w, &jobs, ji, task, at)?,
             EventKind::EdgeDone { ji, task } => {
-                let left = &mut w.deps_left[ji][task.index()];
-                *left -= 1;
-                if *left == 0 {
+                let g = w.gx(ji, task);
+                w.deps_left[g] -= 1;
+                if w.deps_left[g] == 0 {
                     enqueue(rt, &mut w, &jobs, ji, task, at)?;
                 }
             }
             EventKind::LaneFree { compute } => service(rt, &mut w, &jobs, compute, at)?,
         }
     }
-    let total: usize = jobs.iter().map(|s| s.tasks.len()).sum();
     assert_eq!(
         w.report.tasks.len(),
-        total,
+        total_tasks,
         "event heap drained with tasks unrun; DAG validation should prevent this"
     );
 
     // End of wave: flush the remaining task exits in time order, then
     // release job-scoped regions; App-scoped (persistent) regions
     // survive.
-    w.pending_exits.sort_by_key(|&(t, _)| t);
-    for (t, who_exited) in w.pending_exits.drain(..) {
+    while let Some(Reverse((t, _, who_exited))) = w.pending_exits.pop() {
         rt.lifetime.task_exit(&mut rt.mgr, &mut rt.trace, who_exited, t);
     }
     for &jid in &w.job_ids {
@@ -272,9 +314,10 @@ pub(crate) fn run_wave(
         }
     }
 
-    let end = w.finish_at.values().copied().fold(t0, SimTime::max);
+    let end = w.finish_at.iter().copied().fold(t0, SimTime::max);
     rt.clock = end;
     let mut report = w.report;
+    report.events = w.events;
     report.makespan = end - t0;
     report.bytes_moved = rt.trace.bytes_moved();
     report.bytes_ownership_transferred = rt.trace.bytes_transferred_by_ownership();
@@ -388,7 +431,10 @@ fn service(
             return Ok(());
         };
         let qi = pick(&w.queues[compute.index()], rt.config.queue);
-        let q = w.queues[compute.index()].remove(qi);
+        // pick() selects by a strict total order on (rank, queue time,
+        // job, task), so the winner is position-independent and the
+        // O(1) swap_remove cannot perturb future dispatch decisions.
+        let q = w.queues[compute.index()].swap_remove(qi);
         run_task(rt, w, jobs, q, compute, lane, now)?;
     }
 }
@@ -427,20 +473,20 @@ fn run_task(
 
     // Flush exits whose virtual finish precedes this start: their
     // regions are genuinely gone by the time this task allocates.
-    w.pending_exits.sort_by_key(|&(t, _)| t);
-    while let Some(&(t, who_exited)) = w.pending_exits.first() {
+    while let Some(&Reverse((t, _, who_exited))) = w.pending_exits.peek() {
         if t <= start {
+            w.pending_exits.pop();
             rt.lifetime.task_exit(&mut rt.mgr, &mut rt.trace, who_exited, t);
-            w.pending_exits.remove(0);
         } else {
             break;
         }
     }
 
     // --- Region allocation, by declared properties. ---
+    let g = w.gx(ji, task);
     let mut placements: Vec<(&'static str, RegionId, MemDeviceId)> = Vec::new();
     let mut regions = TaskRegions {
-        inputs: w.inputs.remove(&(ji, task)).unwrap_or_default(),
+        inputs: std::mem::take(&mut w.inputs[g]),
         global_state: w.global_state[ji],
         ..TaskRegions::default()
     };
@@ -664,8 +710,8 @@ fn run_task(
     let lane = lane.min(w.lane_free[compute.index()].len() - 1);
     w.lane_free[compute.index()][lane] = finish;
     w.push_event(finish, EventKind::LaneFree { compute });
-    w.start_at.insert((ji, task), start);
-    w.finish_at.insert((ji, task), finish);
+    w.start_at[g] = start;
+    w.finish_at[g] = finish;
 
     // --- Handover to successors: emit one EdgeDone per outgoing edge
     // at the instant the consumer can actually address the data. ---
@@ -708,7 +754,8 @@ fn run_task(
                     )
                     .map_err(DisaggError::Region)?;
                 w.report.handover_copies += 1;
-                w.inputs.entry((ji, s)).or_default().push(o.region);
+                let gs = w.gx(ji, s);
+                w.inputs[gs].push(o.region);
                 w.push_event(finish + o.took, EventKind::EdgeDone { ji, task: s });
             }
             // ...then the transfer (or copy) to the first.
@@ -735,7 +782,8 @@ fn run_task(
             } else {
                 w.report.handover_copies += 1;
             }
-            w.inputs.entry((ji, s0)).or_default().push(o.region);
+            let gs0 = w.gx(ji, s0);
+            w.inputs[gs0].push(o.region);
             let consumer_streams =
                 spec.tasks[s0.index()].props.effective(&spec.defaults).streaming;
             let release = if o.transferred && eff.streaming && consumer_streams {
@@ -781,7 +829,7 @@ fn run_task(
             rt.mgr.transfer(r, who, OwnerId::Job(jid.0))?;
         }
     }
-    w.pending_exits.push((finish, who));
+    w.defer_exit(finish, who);
 
     w.report.tasks.push(TaskReport {
         job: jid,

@@ -91,6 +91,10 @@ pub struct RunReport {
     pub devices: Vec<DeviceSummary>,
     /// Replicas created for persistent outputs: `(primary, copies)`.
     pub persistent_replicas: Vec<(RegionId, Vec<RegionId>)>,
+    /// Simulation events processed by the executor's event loop (ready,
+    /// edge-done, and lane-free events across all waves). Dividing by
+    /// wall-clock gives the simulator's events/sec throughput.
+    pub events: u64,
 }
 
 impl RunReport {

@@ -300,4 +300,5 @@ fn merge_reports(into: &mut RunReport, wave: RunReport) {
     into.denials += wave.denials;
     into.devices = wave.devices;
     into.persistent_replicas.extend(wave.persistent_replicas);
+    into.events += wave.events;
 }

@@ -6,8 +6,19 @@
 //! effects. The *contents* of each allocation are backed by an ordinary
 //! heap buffer, so tasks compute on real bytes while capacities can be
 //! terabytes without reserving terabytes of host RAM.
+//!
+//! # Hot-path layout
+//!
+//! [`RegionId`]s are issued from a monotone counter and never reused, so
+//! per-region state (placement + backing) lives in one dense slab `Vec`
+//! indexed by the id — no hashing on the allocate/free/read/write paths,
+//! and `live()` iterates in id order, which is deterministic. Sparse
+//! backings keep their materialized pages in a sorted `Vec` with a
+//! last-page cursor so sequential streams resolve pages in O(1), and
+//! reads of ranges no page has ever touched zero-fill without any
+//! per-page lookup at all.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
 use disagg_hwsim::ids::MemDeviceId;
 use disagg_hwsim::topology::Topology;
@@ -158,9 +169,41 @@ enum Backing {
     /// Lazily materialized pages; unmapped pages read as zero. The
     /// logical size lives in the pool's placement table.
     Sparse {
-        /// Materialized pages.
-        pages: HashMap<u64, Box<[u8]>>,
+        /// Materialized pages `(page_number, bytes)`, sorted by page
+        /// number. Pages only materialize on write, so most regions hold
+        /// a handful and binary search is already cheap; the cursor makes
+        /// sequential streams O(1) per page.
+        pages: Vec<(u64, Box<[u8]>)>,
+        /// Index into `pages` of the last page touched.
+        cursor: Cell<usize>,
     },
+}
+
+/// Locates `page` in the sorted page list, preferring the cursor hint
+/// (exact hit or its successor — the sequential-stream cases) before
+/// falling back to binary search. Updates the cursor on success.
+fn find_page(pages: &[(u64, Box<[u8]>)], cursor: &Cell<usize>, page: u64) -> Option<usize> {
+    let c = cursor.get();
+    if let Some(&(p, _)) = pages.get(c) {
+        if p == page {
+            return Some(c);
+        }
+        if p < page {
+            if let Some(&(np, _)) = pages.get(c + 1) {
+                if np == page {
+                    cursor.set(c + 1);
+                    return Some(c + 1);
+                }
+            }
+        }
+    }
+    match pages.binary_search_by_key(&page, |&(p, _)| p) {
+        Ok(i) => {
+            cursor.set(i);
+            Some(i)
+        }
+        Err(_) => None,
+    }
 }
 
 impl Backing {
@@ -168,7 +211,7 @@ impl Backing {
         if size <= DENSE_BACKING_LIMIT {
             Backing::Dense(vec![0u8; size as usize])
         } else {
-            Backing::Sparse { pages: HashMap::new() }
+            Backing::Sparse { pages: Vec::new(), cursor: Cell::new(0) }
         }
     }
 
@@ -177,15 +220,33 @@ impl Backing {
             Backing::Dense(v) => {
                 buf.copy_from_slice(&v[offset as usize..offset as usize + buf.len()]);
             }
-            Backing::Sparse { pages, .. } => {
+            Backing::Sparse { pages, cursor } => {
+                if buf.is_empty() {
+                    return;
+                }
+                // Zero-fill fast path: a range no write has ever touched
+                // needs no per-page lookups at all.
+                let first = offset / SPARSE_PAGE;
+                let last = (offset + buf.len() as u64 - 1) / SPARSE_PAGE;
+                let untouched = match (pages.first(), pages.last()) {
+                    (Some(&(lo, _)), Some(&(hi, _))) => last < lo || first > hi,
+                    _ => true,
+                };
+                if untouched {
+                    buf.fill(0);
+                    return;
+                }
                 let mut done = 0usize;
                 while done < buf.len() {
                     let pos = offset + done as u64;
                     let page = pos / SPARSE_PAGE;
                     let within = (pos % SPARSE_PAGE) as usize;
                     let take = (SPARSE_PAGE as usize - within).min(buf.len() - done);
-                    match pages.get(&page) {
-                        Some(p) => buf[done..done + take].copy_from_slice(&p[within..within + take]),
+                    match find_page(pages, cursor, page) {
+                        Some(i) => {
+                            let p = &pages[i].1;
+                            buf[done..done + take].copy_from_slice(&p[within..within + take]);
+                        }
                         None => buf[done..done + take].fill(0),
                     }
                     done += take;
@@ -199,17 +260,26 @@ impl Backing {
             Backing::Dense(v) => {
                 v[offset as usize..offset as usize + data.len()].copy_from_slice(data);
             }
-            Backing::Sparse { pages, .. } => {
+            Backing::Sparse { pages, cursor } => {
                 let mut done = 0usize;
                 while done < data.len() {
                     let pos = offset + done as u64;
                     let page = pos / SPARSE_PAGE;
                     let within = (pos % SPARSE_PAGE) as usize;
                     let take = (SPARSE_PAGE as usize - within).min(data.len() - done);
-                    let p = pages
-                        .entry(page)
-                        .or_insert_with(|| vec![0u8; SPARSE_PAGE as usize].into_boxed_slice());
-                    p[within..within + take].copy_from_slice(&data[done..done + take]);
+                    let i = match find_page(pages, cursor, page) {
+                        Some(i) => i,
+                        None => {
+                            let at = pages.partition_point(|&(p, _)| p < page);
+                            pages.insert(
+                                at,
+                                (page, vec![0u8; SPARSE_PAGE as usize].into_boxed_slice()),
+                            );
+                            cursor.set(at);
+                            at
+                        }
+                    };
+                    pages[i].1[within..within + take].copy_from_slice(&data[done..done + take]);
                     done += take;
                 }
             }
@@ -231,13 +301,21 @@ impl Backing {
     }
 }
 
+/// Per-region state in the slab.
+#[derive(Debug)]
+struct RegionSlot {
+    placement: Placement,
+    backing: Backing,
+}
+
 /// The pool of all memory devices in a topology.
 #[derive(Debug)]
 pub struct MemoryPool {
     arenas: Vec<Arena>,
-    placements: HashMap<RegionId, Placement>,
-    buffers: HashMap<RegionId, Backing>,
-    next_id: u64,
+    /// Dense slab indexed by `RegionId`; ids are monotone and never
+    /// reused, so a freed region leaves a `None` tombstone.
+    slots: Vec<Option<RegionSlot>>,
+    live: usize,
 }
 
 impl MemoryPool {
@@ -245,10 +323,23 @@ impl MemoryPool {
     pub fn new(topo: &Topology) -> Self {
         MemoryPool {
             arenas: topo.mem_devices().iter().map(|m| Arena::new(m.capacity)).collect(),
-            placements: HashMap::new(),
-            buffers: HashMap::new(),
-            next_id: 0,
+            slots: Vec::new(),
+            live: 0,
         }
+    }
+
+    fn slot(&self, id: RegionId) -> Result<&RegionSlot, AllocError> {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(AllocError::UnknownRegion(id))
+    }
+
+    fn slot_mut(&mut self, id: RegionId) -> Result<&mut RegionSlot, AllocError> {
+        self.slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(AllocError::UnknownRegion(id))
     }
 
     /// Allocates `size` bytes on `dev`, zero-initialized.
@@ -262,35 +353,36 @@ impl MemoryPool {
             requested: size,
             free: arena.free_bytes(),
         })?;
-        let id = RegionId(self.next_id);
-        self.next_id += 1;
-        self.placements.insert(id, Placement { dev, offset, size });
-        self.buffers.insert(id, Backing::new(size));
+        let id = RegionId(self.slots.len() as u64);
+        self.slots.push(Some(RegionSlot {
+            placement: Placement { dev, offset, size },
+            backing: Backing::new(size),
+        }));
+        self.live += 1;
         Ok(id)
     }
 
     /// Frees an allocation, returning its former placement.
     pub fn free(&mut self, id: RegionId) -> Result<Placement, AllocError> {
-        let placement = self
-            .placements
-            .remove(&id)
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::take)
             .ok_or(AllocError::UnknownRegion(id))?;
-        self.buffers.remove(&id);
+        let placement = slot.placement;
         self.arenas[placement.dev.index()].dealloc(placement.offset, placement.size);
+        self.live -= 1;
         Ok(placement)
     }
 
     /// The placement of a live allocation.
     pub fn placement(&self, id: RegionId) -> Result<Placement, AllocError> {
-        self.placements
-            .get(&id)
-            .copied()
-            .ok_or(AllocError::UnknownRegion(id))
+        Ok(self.slot(id)?.placement)
     }
 
     /// True if the id refers to a live allocation.
     pub fn is_live(&self, id: RegionId) -> bool {
-        self.placements.contains_key(&id)
+        self.slot(id).is_ok()
     }
 
     /// Read access to an allocation's bytes as one contiguous slice.
@@ -298,9 +390,8 @@ impl MemoryPool {
     /// (larger than [`DENSE_BACKING_LIMIT`]); use [`MemoryPool::read_at`]
     /// for those.
     pub fn data(&self, id: RegionId) -> Result<&[u8], AllocError> {
-        self.buffers
-            .get(&id)
-            .ok_or(AllocError::UnknownRegion(id))?
+        self.slot(id)?
+            .backing
             .as_slice()
             .ok_or(AllocError::NotContiguous(id))
     }
@@ -308,9 +399,8 @@ impl MemoryPool {
     /// Write access to an allocation's bytes as one contiguous slice.
     /// Fails with [`AllocError::NotContiguous`] for sparse-backed regions.
     pub fn data_mut(&mut self, id: RegionId) -> Result<&mut [u8], AllocError> {
-        self.buffers
-            .get_mut(&id)
-            .ok_or(AllocError::UnknownRegion(id))?
+        self.slot_mut(id)?
+            .backing
             .as_mut_slice()
             .ok_or(AllocError::NotContiguous(id))
     }
@@ -318,18 +408,13 @@ impl MemoryPool {
     /// Reads `buf.len()` bytes at `offset` (works for any backing).
     /// The caller checks bounds; out-of-range access panics.
     pub fn read_at(&self, id: RegionId, offset: u64, buf: &mut [u8]) -> Result<(), AllocError> {
-        let b = self.buffers.get(&id).ok_or(AllocError::UnknownRegion(id))?;
-        b.read(offset, buf);
+        self.slot(id)?.backing.read(offset, buf);
         Ok(())
     }
 
     /// Writes `data` at `offset` (works for any backing).
     pub fn write_at(&mut self, id: RegionId, offset: u64, data: &[u8]) -> Result<(), AllocError> {
-        let b = self
-            .buffers
-            .get_mut(&id)
-            .ok_or(AllocError::UnknownRegion(id))?;
-        b.write(offset, data);
+        self.slot_mut(id)?.backing.write(offset, data);
         Ok(())
     }
 
@@ -341,21 +426,14 @@ impl MemoryPool {
         dst: RegionId,
         len: u64,
     ) -> Result<(), AllocError> {
-        if !self.buffers.contains_key(&src) {
-            return Err(AllocError::UnknownRegion(src));
-        }
-        if !self.buffers.contains_key(&dst) {
-            return Err(AllocError::UnknownRegion(dst));
-        }
+        self.slot(src)?;
+        self.slot(dst)?;
         let mut chunk = vec![0u8; (1 << 20).min(len as usize).max(1)];
         let mut off = 0u64;
         while off < len {
             let take = ((len - off) as usize).min(chunk.len());
-            self.buffers[&src].read(off, &mut chunk[..take]);
-            self.buffers
-                .get_mut(&dst)
-                .expect("checked above")
-                .write(off, &chunk[..take]);
+            self.slot(src)?.backing.read(off, &mut chunk[..take]);
+            self.slot_mut(dst)?.backing.write(off, &chunk[..take]);
             off += take as u64;
         }
         Ok(())
@@ -380,7 +458,7 @@ impl MemoryPool {
             offset,
             size: old.size,
         };
-        self.placements.insert(id, new);
+        self.slot_mut(id)?.placement = new;
         Ok(new)
     }
 
@@ -416,12 +494,15 @@ impl MemoryPool {
 
     /// Number of live allocations.
     pub fn live_count(&self) -> usize {
-        self.placements.len()
+        self.live
     }
 
-    /// Iterates over live allocations.
+    /// Iterates over live allocations in id (allocation) order.
     pub fn live(&self) -> impl Iterator<Item = (RegionId, Placement)> + '_ {
-        self.placements.iter().map(|(&id, &p)| (id, p))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (RegionId(i as u64), s.placement)))
     }
 }
 

@@ -176,6 +176,11 @@ pub struct RegionMeta {
 pub struct RegionManager {
     pool: MemoryPool,
     meta: HashMap<RegionId, RegionMeta>,
+    /// Owner → regions index, kept in sync with `meta` ownership so
+    /// task-exit cleanup (`owned_by`/`release_all`, called once per
+    /// task) is O(regions of that owner), not a scan of every live
+    /// region.
+    owners: HashMap<OwnerId, Vec<RegionId>>,
 }
 
 impl RegionManager {
@@ -184,6 +189,20 @@ impl RegionManager {
         RegionManager {
             pool: MemoryPool::new(topo),
             meta: HashMap::new(),
+            owners: HashMap::new(),
+        }
+    }
+
+    fn index_add(&mut self, owner: OwnerId, id: RegionId) {
+        self.owners.entry(owner).or_default().push(id);
+    }
+
+    fn index_remove(&mut self, owner: OwnerId, id: RegionId) {
+        if let Some(v) = self.owners.get_mut(&owner) {
+            v.retain(|&r| r != id);
+            if v.is_empty() {
+                self.owners.remove(&owner);
+            }
         }
     }
 
@@ -221,6 +240,7 @@ impl RegionManager {
                 origin_job,
             },
         );
+        self.index_add(owner, id);
         Ok(id)
     }
 
@@ -243,13 +263,9 @@ impl RegionManager {
 
     /// Live regions owned (exclusively or shared) by `owner`.
     pub fn owned_by(&self, owner: OwnerId) -> Vec<RegionId> {
-        let mut v: Vec<RegionId> = self
-            .meta
-            .values()
-            .filter(|m| m.ownership.is_owner(owner))
-            .map(|m| m.id)
-            .collect();
+        let mut v = self.owners.get(&owner).cloned().unwrap_or_default();
         v.sort();
+        v.dedup();
         v
     }
 
@@ -384,6 +400,8 @@ impl RegionManager {
             Ownership::Exclusive(owner) if *owner == from => {
                 self.meta.get_mut(&id).expect("checked above").ownership =
                     Ownership::Exclusive(to);
+                self.index_remove(from, id);
+                self.index_add(to, id);
                 Ok(())
             }
             Ownership::Exclusive(_) => Err(RegionError::NotOwner { region: id, who: from }),
@@ -410,16 +428,23 @@ impl RegionManager {
             return Err(RegionError::IncoherentShare { region: id, dev });
         }
         let meta = self.meta.get_mut(&id).expect("checked above");
-        match &mut meta.ownership {
+        let grant = match &mut meta.ownership {
             Ownership::Exclusive(o) => {
                 let prev = *o;
                 meta.ownership = Ownership::Shared(vec![prev, with]);
+                true
             }
             Ownership::Shared(v) => {
                 if !v.contains(&with) {
                     v.push(with);
+                    true
+                } else {
+                    false
                 }
             }
+        };
+        if grant {
+            self.index_add(with, id);
         }
         Ok(())
     }
@@ -449,6 +474,7 @@ impl RegionManager {
                 }
             }
         };
+        self.index_remove(who, id);
         if empty {
             self.meta.remove(&id);
             self.pool.free(id)?;

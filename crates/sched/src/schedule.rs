@@ -10,8 +10,6 @@
 //! compute-class requirements. A round-robin baseline is included for the
 //! ablation experiments.
 
-use std::collections::HashMap;
-
 use disagg_hwsim::ids::ComputeId;
 use disagg_hwsim::time::{SimDuration, SimTime};
 use disagg_hwsim::topology::Topology;
@@ -75,23 +73,42 @@ impl ScheduleEntry {
     }
 }
 
+/// Sentinel for "no entry" in the dense lookup table.
+const NO_ENTRY: u32 = u32::MAX;
+
 /// A complete schedule for a set of jobs.
+///
+/// Lookups are hot — the executor resolves every dispatch decision
+/// through [`Schedule::entry`] — so instead of a `(JobId, TaskId)` hash
+/// map the schedule keeps an indexed slice: job ids within one plan are
+/// clustered (the runtime issues them consecutively per wave), so
+/// `index[job - base_job][task]` resolves a rank/assignment lookup with
+/// two array indexes.
 #[derive(Debug, Clone, Default)]
 pub struct Schedule {
     /// Entries in estimated execution order.
     pub entries: Vec<ScheduleEntry>,
-    index: HashMap<(JobId, TaskId), usize>,
+    /// Lowest job id in the plan; row 0 of `index` belongs to it.
+    base_job: u64,
+    /// `index[job - base_job][task]` → entry position ([`NO_ENTRY`] if absent).
+    index: Vec<Vec<u32>>,
 }
 
 impl Schedule {
+    fn slot(&self, job: JobId, task: TaskId) -> Option<usize> {
+        let row = job.0.checked_sub(self.base_job)? as usize;
+        let &i = self.index.get(row)?.get(task.index())?;
+        (i != NO_ENTRY).then_some(i as usize)
+    }
+
     /// The compute device assigned to a task.
     pub fn assignment(&self, job: JobId, task: TaskId) -> Option<ComputeId> {
-        self.index.get(&(job, task)).map(|&i| self.entries[i].compute)
+        self.slot(job, task).map(|i| self.entries[i].compute)
     }
 
     /// The entry for a task.
     pub fn entry(&self, job: JobId, task: TaskId) -> Option<&ScheduleEntry> {
-        self.index.get(&(job, task)).map(|&i| &self.entries[i])
+        self.slot(job, task).map(|i| &self.entries[i])
     }
 
     /// The estimated makespan across all entries.
@@ -103,19 +120,47 @@ impl Schedule {
             - SimTime::ZERO
     }
 
+    fn set_slot(&mut self, job: JobId, task: TaskId, i: u32) {
+        if self.index.is_empty() {
+            self.base_job = job.0;
+        } else if job.0 < self.base_job {
+            // A lower job id arrived after the base was fixed: shift the
+            // table down (rare — plans are built from one job list).
+            let shift = (self.base_job - job.0) as usize;
+            let mut rows = vec![Vec::new(); shift];
+            rows.append(&mut self.index);
+            self.index = rows;
+            self.base_job = job.0;
+        }
+        let row = (job.0 - self.base_job) as usize;
+        if row >= self.index.len() {
+            self.index.resize(row + 1, Vec::new());
+        }
+        let cols = &mut self.index[row];
+        if task.index() >= cols.len() {
+            cols.resize(task.index() + 1, NO_ENTRY);
+        }
+        cols[task.index()] = i;
+    }
+
     fn push(&mut self, entry: ScheduleEntry) {
-        self.index.insert((entry.job, entry.task), self.entries.len());
+        let i = self.entries.len() as u32;
+        self.set_slot(entry.job, entry.task, i);
         self.entries.push(entry);
     }
 
     fn sort_by_start(&mut self) {
         self.entries.sort_by_key(|e| (e.est_start, e.job, e.task));
-        self.index = self
+        for (i, (job, task)) in self
             .entries
             .iter()
+            .map(|e| (e.job, e.task))
+            .collect::<Vec<_>>()
+            .into_iter()
             .enumerate()
-            .map(|(i, e)| ((e.job, e.task), i))
-            .collect();
+        {
+            self.set_slot(job, task, i as u32);
+        }
     }
 }
 
@@ -206,51 +251,47 @@ impl Scheduler {
         topo: &Topology,
         jobs: &[(JobId, &JobSpec)],
     ) -> Result<Schedule, SchedError> {
-        // Flatten all tasks, compute per-device estimates and averages.
+        // Flatten all tasks into one item arena; `base[si] + task` is a
+        // job-local task's global item index (no per-task hashing).
         struct Item {
             job: JobId,
             spec_idx: usize,
             task: TaskId,
             eligible: Vec<ComputeId>,
-            est: HashMap<ComputeId, f64>,
+            /// Estimated duration per eligible device (parallel to
+            /// `eligible`).
+            est: Vec<f64>,
             avg: f64,
         }
+        let mut base: Vec<usize> = Vec::with_capacity(jobs.len());
         let mut items: Vec<Item> = Vec::new();
-        let mut item_of: HashMap<(JobId, TaskId), usize> = HashMap::new();
         for (si, &(job, spec)) in jobs.iter().enumerate() {
+            base.push(items.len());
             for ti in 0..spec.tasks.len() {
                 let task = TaskId(ti as u32);
                 let eligible = Self::eligible(topo, spec.tasks[ti].compute);
                 if eligible.is_empty() {
                     return Err(SchedError::NoEligibleDevice { job, task });
                 }
-                let est: HashMap<ComputeId, f64> = eligible
+                let est: Vec<f64> = eligible
                     .iter()
-                    .map(|&c| (c, Self::estimate(topo, spec, task, c)))
+                    .map(|&c| Self::estimate(topo, spec, task, c))
                     .collect();
-                let avg = est.values().sum::<f64>() / est.len() as f64;
-                item_of.insert((job, task), items.len());
-                items.push(Item {
-                    job,
-                    spec_idx: si,
-                    task,
-                    eligible,
-                    est,
-                    avg,
-                });
+                let avg = est.iter().sum::<f64>() / est.len() as f64;
+                items.push(Item { job, spec_idx: si, task, eligible, est, avg });
             }
         }
 
         // Upward ranks (per job; jobs are independent DAGs).
         let mut rank = vec![0.0f64; items.len()];
-        for &(job, spec) in jobs {
+        for (si, &(_, spec)) in jobs.iter().enumerate() {
             for &task in spec.dag.topo_order().iter().rev() {
-                let i = item_of[&(job, task)];
+                let i = base[si] + task.index();
                 let mut best_succ = 0.0f64;
                 for &s in spec.dag.successors(task) {
-                    let si = item_of[&(job, s)];
+                    let succ = base[si] + s.index();
                     let comm = spec.tasks[task.index()].output_bytes as f64 / AVG_COMM_BW;
-                    best_succ = best_succ.max(comm + rank[si]);
+                    best_succ = best_succ.max(comm + rank[succ]);
                 }
                 rank[i] = items[i].avg + best_succ;
             }
@@ -279,7 +320,8 @@ impl Scheduler {
             .iter()
             .map(|m| vec![SimTime::ZERO; m.slots as usize])
             .collect();
-        let mut finish: HashMap<(JobId, TaskId), (SimTime, ComputeId)> = HashMap::new();
+        // Finish time + device per item, indexed like `items`.
+        let mut finish: Vec<Option<(SimTime, ComputeId)>> = vec![None; items.len()];
         let mut schedule = Schedule::default();
         let mut rr_cursor = 0usize;
         // Tasks assigned per device: breaks exact EFT ties toward the
@@ -297,7 +339,8 @@ impl Scheduler {
             let item = &items[i];
             let (job, spec) = jobs[item.spec_idx];
             let preds = spec.dag.predecessors(item.task);
-            if !preds.iter().all(|p| finish.contains_key(&(job, *p))) {
+            let pred_idx = |p: TaskId| base[item.spec_idx] + p.index();
+            if !preds.iter().all(|&p| finish[pred_idx(p)].is_some()) {
                 pending.push_back(i);
                 guard += 1;
                 assert!(
@@ -308,11 +351,12 @@ impl Scheduler {
             }
             guard = 0;
 
-            let choose_on = |c: ComputeId, lanes: &[Vec<SimTime>]| -> (usize, SimTime, SimTime) {
+            let choose_on = |ei: usize, lanes: &[Vec<SimTime>]| -> (usize, SimTime, SimTime) {
+                let c = items[i].eligible[ei];
                 let ready = preds
                     .iter()
                     .map(|&p| {
-                        let (f, pc) = finish[&(job, p)];
+                        let (f, pc) = finish[pred_idx(p)].expect("preds checked above");
                         if pc == c {
                             f
                         } else {
@@ -328,33 +372,39 @@ impl Scheduler {
                     .min_by_key(|&(_, t)| *t)
                     .expect("devices have at least one slot");
                 let start = ready.max(free);
-                let dur = SimDuration::from_nanos_f64(items[i].est[&c]);
+                let dur = SimDuration::from_nanos_f64(items[i].est[ei]);
                 (lane, start, start + dur)
             };
 
-            let c = match self.policy {
-                SchedPolicy::Heft => items[i]
-                    .eligible
-                    .iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        let fa = choose_on(a, &lanes).2;
-                        let fb = choose_on(b, &lanes).2;
-                        fa.cmp(&fb)
-                            .then(assigned[a.index()].cmp(&assigned[b.index()]))
-                            .then(a.cmp(&b))
-                    })
-                    .expect("eligibility checked at collection"),
+            let ei = match self.policy {
+                SchedPolicy::Heft => {
+                    // Evaluate each eligible device once (min_by would
+                    // recompute per comparison), then min with the same
+                    // EFT → least-assigned → id tie-break.
+                    let fins: Vec<SimTime> = (0..items[i].eligible.len())
+                        .map(|ei| choose_on(ei, &lanes).2)
+                        .collect();
+                    (0..items[i].eligible.len())
+                        .min_by(|&a, &b| {
+                            let (ca, cb) = (items[i].eligible[a], items[i].eligible[b]);
+                            fins[a]
+                                .cmp(&fins[b])
+                                .then(assigned[ca.index()].cmp(&assigned[cb.index()]))
+                                .then(ca.cmp(&cb))
+                        })
+                        .expect("eligibility checked at collection")
+                }
                 SchedPolicy::RoundRobin => {
-                    let c = items[i].eligible[rr_cursor % items[i].eligible.len()];
+                    let ei = rr_cursor % items[i].eligible.len();
                     rr_cursor += 1;
-                    c
+                    ei
                 }
             };
-            let (lane, start, fin) = choose_on(c, &lanes);
+            let c = items[i].eligible[ei];
+            let (lane, start, fin) = choose_on(ei, &lanes);
             assigned[c.index()] += 1;
             lanes[c.index()][lane] = fin;
-            finish.insert((job, items[i].task), (fin, c));
+            finish[base[item.spec_idx] + items[i].task.index()] = Some((fin, c));
             schedule.push(ScheduleEntry {
                 job,
                 task: items[i].task,

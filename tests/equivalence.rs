@@ -1,0 +1,234 @@
+//! Arena/HashMap equivalence goldens.
+//!
+//! This PR replaced the executor's per-task hash maps with dense
+//! arenas, the contention ledger's per-quantum maps with ring buffers,
+//! the memory pool's region maps with an id-indexed slab, and the
+//! schedule's `(job, task)` map with an indexed slice. None of that may
+//! change observable behavior: the digests below were captured from the
+//! pre-refactor executor on the diamond, quickstart, and rack-scale
+//! workloads, and the refactored runtime must reproduce them
+//! bit-for-bit (task order, makespan, movement counters, and the full
+//! trace).
+
+use disagg::hwsim::compute::ComputeModel;
+use disagg::hwsim::device::{MemDeviceKind, MemDeviceModel};
+use disagg::hwsim::topology::{Endpoint, LinkKind, Topology};
+use disagg::prelude::*;
+use disagg::workloads::{dbms, hospital, ml, streaming};
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// FNV-1a digests of (task schedule, full trace) — the same fields the
+/// pre-refactor capture hashed.
+fn report_digest(report: &RunReport, trace: &disagg::hwsim::trace::Trace) -> (u64, u64) {
+    let mut h = 0xcbf29ce484222325u64;
+    for t in &report.tasks {
+        fnv(
+            &mut h,
+            format!(
+                "{}/{}/{}/{:?}/{}/{}",
+                t.job.0, t.task.0, t.name, t.compute, t.start, t.finish
+            )
+            .as_bytes(),
+        );
+    }
+    let mut th = 0xcbf29ce484222325u64;
+    for e in trace.events() {
+        fnv(&mut th, format!("{e:?}").as_bytes());
+    }
+    (h, th)
+}
+
+fn diamond_workload() -> (Runtime, JobSpec) {
+    let mut b = Topology::builder();
+    let mut serial_cpu = ComputeModel::preset(ComputeKind::Cpu);
+    serial_cpu.slots = 1;
+    let w0 = b.node("worker0");
+    let w1 = b.node("worker1");
+    let cpu0 = b.compute(w0, serial_cpu.clone());
+    let cpu1 = b.compute(w1, serial_cpu);
+    let dram0 = b.mem(w0, MemDeviceModel::preset(MemDeviceKind::Dram));
+    let dram1 = b.mem(w1, MemDeviceModel::preset(MemDeviceKind::Dram));
+    b.link(cpu0, dram0, LinkKind::MemBus);
+    b.link(cpu1, dram1, LinkKind::MemBus);
+    b.link(cpu0, Endpoint::Hub(w0), LinkKind::MemBus);
+    b.link(cpu1, Endpoint::Hub(w1), LinkKind::MemBus);
+    b.link(Endpoint::Hub(w0), Endpoint::Hub(w1), LinkKind::Numa);
+    b.link(Endpoint::Hub(w0), dram0, LinkKind::MemBus);
+    b.link(Endpoint::Hub(w1), dram1, LinkKind::MemBus);
+    let topo = b.build().unwrap();
+    let rt = Runtime::new(topo, RuntimeConfig::traced());
+    let mut job = JobBuilder::new("diamond");
+    let mk = |name: &str| {
+        TaskSpec::new(name)
+            .work(WorkClass::Scalar, 1_000_000)
+            .output_bytes(4096)
+            .body(|ctx| {
+                ctx.compute(WorkClass::Scalar, 1_000_000);
+                ctx.write_output(0, &[1u8; 4096])?;
+                Ok(())
+            })
+    };
+    let source = job.task(mk("source"));
+    let left = job.task(mk("left"));
+    let right = job.task(mk("right"));
+    let sink = job.task(mk("sink"));
+    job.edge(source, left);
+    job.edge(source, right);
+    job.edge(left, sink);
+    job.edge(right, sink);
+    (rt, job.build().unwrap())
+}
+
+fn quickstart_workload() -> (Runtime, JobSpec) {
+    let (topo, _ids) = disagg::presets::single_server();
+    let rt = Runtime::new(topo, RuntimeConfig::traced());
+    let mut job = JobBuilder::new("quickstart");
+    let produce = job.task(
+        TaskSpec::new("produce")
+            .work(WorkClass::Vector, 100_000)
+            .output_bytes(1 << 20)
+            .body(|ctx| {
+                let chunk = [7u8; 4096];
+                for i in 0..256 {
+                    ctx.write_output(i * 4096, &chunk)?;
+                }
+                Ok(())
+            }),
+    );
+    let consume = job.task(
+        TaskSpec::new("consume")
+            .work(WorkClass::Scalar, 100_000)
+            .mem_latency(LatencyClass::Low)
+            .private_scratch(1 << 16)
+            .body(|ctx| {
+                let mut buf = vec![0u8; 1 << 20];
+                ctx.read_input(0, &mut buf)?;
+                ctx.scratch_write(0, &buf[..64])?;
+                Ok(())
+            }),
+    );
+    job.edge(produce, consume);
+    (rt, job.build().unwrap())
+}
+
+fn rack_batch() -> (Runtime, Vec<JobSpec>) {
+    let (topo, _rack) = disagg::presets::disaggregated_rack(3, 16, 3, 128);
+    let rt = Runtime::new(topo, RuntimeConfig::traced().with_admission(0.8));
+    let jobs = vec![
+        dbms::query_job(dbms::DbmsConfig {
+            tuples: 8_000,
+            probe_tuples: 4_000,
+            ..dbms::DbmsConfig::default()
+        }),
+        ml::training_job(ml::MlConfig {
+            samples: 4_096,
+            epochs: 2,
+            ..ml::MlConfig::default()
+        }),
+        streaming::windowed_job(streaming::StreamConfig {
+            events: 8_000,
+            ..streaming::StreamConfig::default()
+        }),
+        hospital::hospital_job(hospital::HospitalConfig::default()),
+    ];
+    (rt, jobs)
+}
+
+struct Golden {
+    makespan: u64,
+    tasks: usize,
+    bytes_moved: u64,
+    ownership_transfers: u64,
+    handover_copies: u64,
+    task_hash: u64,
+    trace_hash: u64,
+}
+
+fn check(name: &str, mut rt: Runtime, jobs: Vec<JobSpec>, golden: Golden) {
+    let report = rt.run(jobs).unwrap();
+    let (task_hash, trace_hash) = report_digest(&report, rt.trace());
+    assert_eq!(report.makespan.as_nanos(), golden.makespan, "{name}: makespan");
+    assert_eq!(report.tasks.len(), golden.tasks, "{name}: task count");
+    assert_eq!(report.bytes_moved, golden.bytes_moved, "{name}: bytes moved");
+    assert_eq!(
+        report.ownership_transfers, golden.ownership_transfers,
+        "{name}: ownership transfers"
+    );
+    assert_eq!(report.handover_copies, golden.handover_copies, "{name}: handover copies");
+    assert_eq!(task_hash, golden.task_hash, "{name}: task schedule digest");
+    assert_eq!(trace_hash, golden.trace_hash, "{name}: trace digest");
+    assert!(report.events > 0, "{name}: event counter populated");
+}
+
+#[test]
+fn diamond_matches_pre_refactor_golden() {
+    let (rt, job) = diamond_workload();
+    check(
+        "diamond",
+        rt,
+        vec![job],
+        Golden {
+            makespan: 3_001_495,
+            tasks: 4,
+            bytes_moved: 20_480,
+            ownership_transfers: 3,
+            handover_copies: 1,
+            task_hash: 0xe293e7ebc900f096,
+            trace_hash: 0x9e3410eef683d00f,
+        },
+    );
+}
+
+#[test]
+fn quickstart_matches_pre_refactor_golden() {
+    let (rt, job) = quickstart_workload();
+    check(
+        "quickstart",
+        rt,
+        vec![job],
+        Golden {
+            makespan: 207_832,
+            tasks: 2,
+            bytes_moved: 2_097_216,
+            ownership_transfers: 1,
+            handover_copies: 0,
+            task_hash: 0x051fb5a6ca2dff73,
+            trace_hash: 0x457003e2a7ed9e5a,
+        },
+    );
+}
+
+#[test]
+fn rack_scale_batch_matches_pre_refactor_golden() {
+    let (rt, jobs) = rack_batch();
+    check(
+        "rack",
+        rt,
+        jobs,
+        Golden {
+            makespan: 764_697,
+            tasks: 14,
+            bytes_moved: 3_495_296,
+            ownership_transfers: 8,
+            handover_copies: 2,
+            task_hash: 0xbdf775c46689c0e8,
+            trace_hash: 0xf23d67c2969759eb,
+        },
+    );
+}
+
+#[test]
+fn repeated_runs_are_bit_for_bit_identical() {
+    let digest = || {
+        let (mut rt, jobs) = rack_batch();
+        let report = rt.run(jobs).unwrap();
+        (report_digest(&report, rt.trace()), report.events)
+    };
+    assert_eq!(digest(), digest());
+}
