@@ -143,6 +143,54 @@ fn events_per_sec() {
     );
 }
 
+/// Observability overhead: the same stress batch with (a) no observer
+/// (the NullObserver-equivalent default — no tap installed), (b) a
+/// streaming metrics + timeline + event-buffer FullObserver, and (c)
+/// buffered tracing only. The events/sec gap between (a) and the seed
+/// baseline is the cost of having observability *available*; between
+/// (a) and (b) the cost of having it *on*.
+fn trace_overhead() {
+    use disagg_bench::driver;
+    use disagg_core::prelude::{FullObserver, ObserverSlot};
+    use disagg_hwsim::presets::disaggregated_rack;
+    use std::sync::{Arc, Mutex};
+
+    let opts = BenchOpts {
+        warmup_iters: 1,
+        max_iters: 5,
+        ..BenchOpts::default()
+    };
+    let (jobs, layers, width) = (4, 8, 8);
+    let run = |config: RuntimeConfig| {
+        let (topo, _rack) = disaggregated_rack(4, 16, 4, 256);
+        let mut rt = Runtime::new(topo, config);
+        let batch = driver::stress_jobs(jobs, layers, width);
+        rt.run(batch).expect("stress batch runs").events
+    };
+
+    let mut events = 0u64;
+    let null = bench_named("trace_overhead/null_observer", opts, || {
+        events = run(RuntimeConfig::default());
+    });
+    let full = bench_named("trace_overhead/full_observer", opts, || {
+        let sink = Arc::new(Mutex::new(FullObserver::new()));
+        events = run(RuntimeConfig::default().with_observer(ObserverSlot::shared(sink.clone())));
+        black_box(sink.lock().unwrap().events.len());
+    });
+    let traced = bench_named("trace_overhead/buffered_trace", opts, || {
+        events = run(RuntimeConfig::traced());
+    });
+    let eps = |d: std::time::Duration| events as f64 / d.as_secs_f64();
+    println!(
+        "trace_overhead/events_per_sec      null {:.0} | full observer {:.0} ({:.1}% slower) | buffered trace {:.0} ({:.1}% slower)",
+        eps(null.min),
+        eps(full.min),
+        (full.min.as_secs_f64() / null.min.as_secs_f64() - 1.0) * 100.0,
+        eps(traced.min),
+        (traced.min.as_secs_f64() / null.min.as_secs_f64() - 1.0) * 100.0,
+    );
+}
+
 fn end_to_end() {
     let opts = BenchOpts {
         max_iters: 10,
@@ -171,5 +219,6 @@ fn main() {
     cipher();
     schedule_dag();
     events_per_sec();
+    trace_overhead();
     end_to_end();
 }

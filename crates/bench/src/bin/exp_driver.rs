@@ -15,6 +15,13 @@
 //!   --no-thru        skip the throughput measurement
 //!   --verify         additionally run serially and fail (exit 1) if
 //!                    parallel output is not byte-identical
+//!   --trace-out DIR  re-run each experiment's representative workload
+//!                    with a full observer and write Perfetto-loadable
+//!                    Chrome traces, folded flamegraph stacks, and
+//!                    critical-path reports under DIR (validated before
+//!                    writing; exit 1 on an invalid trace)
+//!   --metrics-out P  write the per-experiment metrics snapshots as one
+//!                    JSON object to P
 
 use std::io::Write;
 
@@ -77,6 +84,61 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("verify: parallel output byte-identical to serial");
+    }
+
+    let trace_out = value("--trace-out");
+    let metrics_out = value("--metrics-out");
+    if trace_out.is_some() || metrics_out.is_some() {
+        if let Some(dir) = &trace_out {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("failed to create {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+        let mut metrics_entries: Vec<(String, String)> = Vec::new();
+        for r in &results {
+            let Some(outcome) = driver::observed_artifacts(r.id, quick) else {
+                continue;
+            };
+            let art = match outcome {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            if let Some(dir) = &trace_out {
+                let write = |name: &str, body: &str| {
+                    let path = format!("{dir}/{name}");
+                    if let Err(e) = std::fs::write(&path, body) {
+                        eprintln!("failed to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                write(&format!("{}.trace.json", art.id), &art.chrome_trace);
+                write(&format!("{}.folded.txt", art.id), &art.folded);
+                write(&format!("{}.critical.txt", art.id), &art.critical_paths);
+                eprintln!("trace artifacts: {dir}/{}.{{trace.json,folded.txt,critical.txt}}", art.id);
+            }
+            metrics_entries.push((art.id.clone(), art.metrics_json.clone()));
+        }
+        if let Some(path) = &metrics_out {
+            let body = format!(
+                "{{\n{}\n}}\n",
+                metrics_entries
+                    .iter()
+                    .map(|(id, m)| format!("  \"{id}\": {m}"))
+                    .collect::<Vec<_>>()
+                    .join(",\n")
+            );
+            match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 
     let throughputs: Vec<driver::Throughput> = if no_thru {

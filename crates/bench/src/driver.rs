@@ -15,15 +15,27 @@
 //! performance trajectory.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use disagg_core::obs::{
+    chrome_trace, folded_stacks, render_critical_paths, validate_chrome_trace, FullObserver,
+    ObserverSlot,
+};
 use disagg_core::prelude::{Runtime, RuntimeConfig};
 use disagg_dataflow::job::JobSpec;
 use disagg_dataflow::task::TaskId;
 use disagg_dataflow::{JobBuilder, TaskSpec};
 use disagg_hwsim::compute::WorkClass;
-use disagg_hwsim::presets::disaggregated_rack;
+use disagg_hwsim::presets::{
+    disaggregated_rack, hetero_storage_server, single_server, two_socket,
+};
+use disagg_hwsim::topology::Topology;
+use disagg_workloads::dbms::{query_job, DbmsConfig};
+use disagg_workloads::hospital::{hospital_job, HospitalConfig};
+use disagg_workloads::hpc::{stencil_job, HpcConfig};
+use disagg_workloads::ml::{training_job, MlConfig};
+use disagg_workloads::streaming::{windowed_job, StreamConfig};
 
 use crate::exp;
 
@@ -187,6 +199,117 @@ pub fn throughput_suite(quick: bool) -> Vec<(usize, usize, usize)> {
     } else {
         vec![(4, 8, 8), (8, 16, 16), (16, 24, 24)]
     }
+}
+
+/// A representative observed workload for one experiment id: the
+/// topology, config, and jobs whose event stream stands in for the
+/// experiment's behavior. Experiments construct their runtimes
+/// internally (often many per sweep), so trace artifacts re-run one
+/// matching workload with an observer attached instead of threading an
+/// observer through every sweep point.
+pub fn representative(id: &str, quick: bool) -> Option<(Topology, RuntimeConfig, Vec<JobSpec>)> {
+    let config = RuntimeConfig::default();
+    let dbms = || {
+        query_job(DbmsConfig {
+            tuples: if quick { 2_000 } else { 20_000 },
+            probe_tuples: if quick { 1_000 } else { 10_000 },
+            ..DbmsConfig::default()
+        })
+    };
+    let some = |topo: Topology, jobs: Vec<JobSpec>| Some((topo, config.clone(), jobs));
+    match id {
+        // Static tables: a small pipeline on the plain server stands in.
+        "table1" | "table2" | "table3" | "fig3" | "ablation" => {
+            some(single_server().0, vec![dbms()])
+        }
+        // The CXL-pool rack of fig1 has no persistent tier, so the rack
+        // representative is the fully disaggregated one.
+        "fig1" => some(disaggregated_rack(4, 16, 4, 256).0, vec![dbms()]),
+        "fig2" => some(
+            single_server().0,
+            vec![hospital_job(HospitalConfig {
+                frames: if quick { 4 } else { 16 },
+                ..HospitalConfig::default()
+            })],
+        ),
+        // two_socket is DRAM-only, so the NUMA representative runs a
+        // plain layered DAG (no persistent outputs to place).
+        "numa" => some(two_socket().0, stress_jobs(1, 4, 4)),
+        "fig4" | "hpc" => some(
+            single_server().0,
+            vec![stencil_job(HpcConfig {
+                cells: if quick { 2_048 } else { 8_192 },
+                ..HpcConfig::default()
+            })],
+        ),
+        "naive" | "tiering" => some(hetero_storage_server().0, vec![dbms()]),
+        "async" | "stream" => some(
+            single_server().0,
+            vec![windowed_job(StreamConfig {
+                events: if quick { 4_000 } else { 20_000 },
+                ..StreamConfig::default()
+            })],
+        ),
+        "ftol" => some(
+            disaggregated_rack(4, 16, 4, 256).0,
+            vec![training_job(MlConfig {
+                samples: if quick { 1_024 } else { 4_096 },
+                ..MlConfig::default()
+            })],
+        ),
+        "online" => some(
+            disaggregated_rack(4, 16, 4, 256).0,
+            stress_jobs(if quick { 2 } else { 4 }, 4, 4),
+        ),
+        _ => None,
+    }
+}
+
+/// The observability artifacts of one representative run.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// Experiment id the run represents.
+    pub id: String,
+    /// Perfetto-loadable Chrome trace-event JSON (validated).
+    pub chrome_trace: String,
+    /// Metrics snapshot as JSON.
+    pub metrics_json: String,
+    /// Folded flamegraph stacks (`job;task;layer count`).
+    pub folded: String,
+    /// Rendered top-3 critical paths with per-layer attribution.
+    pub critical_paths: String,
+}
+
+/// Runs the representative workload for `id` with a full observer
+/// attached and returns its artifacts. The emitted Chrome trace is
+/// round-trip validated before being returned; a validation failure is
+/// a bug, so it errors rather than writing a broken file.
+pub fn observed_artifacts(id: &str, quick: bool) -> Option<Result<Artifacts, String>> {
+    let (topo, config, jobs) = representative(id, quick)?;
+    let sink = Arc::new(Mutex::new(FullObserver::new()));
+    let mut rt = Runtime::new(topo, config.with_observer(ObserverSlot::shared(sink.clone())));
+    let report = match rt.run(jobs) {
+        Ok(r) => r,
+        Err(e) => return Some(Err(format!("{id}: representative run failed: {e:?}"))),
+    };
+    let obs = sink.lock().expect("observer lock");
+    let doc = chrome_trace(&obs.events, rt.topology());
+    if let Err(e) = validate_chrome_trace(&doc) {
+        return Some(Err(format!("{id}: emitted chrome trace is invalid: {e}")));
+    }
+    let metrics_json = report
+        .metrics
+        .as_ref()
+        .map(|m| m.to_json())
+        .unwrap_or_else(|| "{}".to_string());
+    let (spans, paths) = report.critical_paths(3);
+    Some(Ok(Artifacts {
+        id: id.to_string(),
+        chrome_trace: doc,
+        metrics_json,
+        folded: folded_stacks(&spans),
+        critical_paths: render_critical_paths(&spans, &paths),
+    }))
 }
 
 fn json_escape(s: &str) -> String {

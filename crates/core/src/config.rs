@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use disagg_hwsim::fault::FaultInjector;
+use disagg_obs::ObserverSlot;
 use disagg_sched::cost::TopologyAwareness;
 use disagg_sched::lifetime::HandoverPolicy;
 use disagg_sched::placement::PlacementPolicy;
@@ -27,6 +28,10 @@ pub struct RuntimeConfig {
     pub awareness: TopologyAwareness,
     /// Record a full event trace (costs memory on big runs).
     pub trace: bool,
+    /// Streaming event sink: sees every trace event at emission time,
+    /// independent of whether `trace` buffers them. The default is the
+    /// null slot — no tap is installed and observability costs nothing.
+    pub observer: ObserverSlot,
     /// Injected faults for this run.
     pub faults: FaultInjector,
     /// Memory-aware admission control: when set, a submitted batch is
@@ -50,6 +55,7 @@ impl Default for RuntimeConfig {
             handover: HandoverPolicy::default(),
             awareness: TopologyAwareness::default(),
             trace: false,
+            observer: ObserverSlot::default(),
             faults: FaultInjector::default(),
             admission_watermark: None,
             persistent_replicas: 1,
@@ -99,6 +105,13 @@ impl RuntimeConfig {
     /// Sets the handover policy.
     pub fn with_handover(mut self, h: HandoverPolicy) -> Self {
         self.handover = h;
+        self
+    }
+
+    /// Attaches a streaming observer (use [`ObserverSlot::shared`] to
+    /// keep a handle for reading results back after the run).
+    pub fn with_observer(mut self, o: ObserverSlot) -> Self {
+        self.observer = o;
         self
     }
 

@@ -331,10 +331,21 @@ pub(crate) fn run_wave(
             dev,
             peak_bytes: rt.mgr.pool().peak(dev),
             capacity: rt.mgr.pool().capacity(dev),
-            bytes_transferred: rt.ledger.stats(ResourceKey::Mem(dev)).bytes,
+            bytes_transferred: rt.ledger.stats(ResourceKey::Mem(dev)).bytes.round() as u64,
         })
         .collect();
     report.tasks.sort_by_key(|t| (t.finish, t.job, t.task));
+    // The DAG the wave honored, for critical-path analysis.
+    for (ji, spec) in jobs.iter().enumerate() {
+        let jid = w.job_ids[ji];
+        for ti in 0..spec.dag.len() {
+            let task = TaskId(ti as u32);
+            for &succ in spec.dag.successors(task) {
+                report.edges.push((jid, task, succ));
+            }
+        }
+    }
+    report.metrics = rt.config.observer.metrics();
     Ok(report)
 }
 

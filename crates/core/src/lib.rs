@@ -51,6 +51,10 @@ pub use profile::{RunProfile, TaskProfile};
 pub use report::{DeviceSummary, RunReport, TaskReport};
 pub use runtime::Runtime;
 
+/// Re-export of the observability crate (observers, metrics, timelines,
+/// exporters), so `disagg_core::obs::*` is the one-stop surface.
+pub use disagg_obs as obs;
+
 /// Everything an application or experiment typically imports.
 pub mod prelude {
     pub use crate::config::RuntimeConfig;
@@ -65,6 +69,9 @@ pub mod prelude {
     pub use disagg_hwsim::device::{AccessPattern, MemDeviceKind};
     pub use disagg_hwsim::time::{SimDuration, SimTime};
     pub use disagg_hwsim::topology::Topology;
+    pub use disagg_obs::{
+        CollectingObserver, FullObserver, MetricsSnapshot, NullObserver, Observer, ObserverSlot,
+    };
     pub use disagg_region::props::{
         AccessHint, AccessMode, BandwidthClass, LatencyClass, PropertySet,
     };

@@ -139,6 +139,60 @@ impl RunReport {
     pub fn profile(&self) -> RunProfile {
         RunProfile::new(self)
     }
+
+    /// The run as analyzer input: one [`TaskSpan`] per executed task
+    /// (layer attribution from [`TaskProfile`]) plus the honored
+    /// dataflow edges as index pairs into the span list.
+    ///
+    /// [`TaskSpan`]: disagg_obs::TaskSpan
+    pub fn task_spans(&self) -> (Vec<disagg_obs::TaskSpan>, Vec<(usize, usize)>) {
+        let spans: Vec<disagg_obs::TaskSpan> = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let p = TaskProfile::from_report(t);
+                disagg_obs::TaskSpan {
+                    job: t.job.0,
+                    task: t.task.0 as u64,
+                    name: t.name.clone(),
+                    lane: t.compute.0,
+                    start: t.start,
+                    finish: t.finish,
+                    compute: p.compute,
+                    mem_stall: p.sync_stall + p.async_stall,
+                    runtime: p.runtime,
+                }
+            })
+            .collect();
+        let index: std::collections::HashMap<(u64, u64), usize> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.job, s.task), i))
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .filter_map(|&(j, a, b)| {
+                Some((
+                    *index.get(&(j.0, a.0 as u64))?,
+                    *index.get(&(j.0, b.0 as u64))?,
+                ))
+            })
+            .collect();
+        (spans, edges)
+    }
+
+    /// The top-`k` heaviest dependent chains of this run, with per-layer
+    /// attribution — returns `(spans, paths)` so the paths can be
+    /// rendered against their spans.
+    pub fn critical_paths(
+        &self,
+        k: usize,
+    ) -> (Vec<disagg_obs::TaskSpan>, Vec<disagg_obs::CriticalPath>) {
+        let (spans, edges) = self.task_spans();
+        let paths = disagg_obs::critical_paths(&spans, &edges, k);
+        (spans, paths)
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ use disagg_dataflow::job::JobId;
 use disagg_dataflow::task::TaskId;
 use disagg_hwsim::ids::{ComputeId, MemDeviceId};
 use disagg_hwsim::time::{SimDuration, SimTime};
+use disagg_obs::MetricsSnapshot;
 use disagg_region::access::AccessStats;
 use disagg_region::pool::RegionId;
 use disagg_sched::enforce::Violation;
@@ -52,7 +53,7 @@ pub struct DeviceSummary {
     /// Device capacity.
     pub capacity: u64,
     /// Total bytes transferred through the device.
-    pub bytes_transferred: f64,
+    pub bytes_transferred: u64,
 }
 
 impl DeviceSummary {
@@ -95,6 +96,12 @@ pub struct RunReport {
     /// edge-done, and lane-free events across all waves). Dividing by
     /// wall-clock gives the simulator's events/sec throughput.
     pub events: u64,
+    /// Dataflow edges the executor honored, as `(job, from, to)` — the
+    /// DAG the critical-path analyzer walks.
+    pub edges: Vec<(JobId, TaskId, TaskId)>,
+    /// Metrics snapshot from the attached observer, if it keeps one
+    /// (see [`crate::RuntimeConfig::with_observer`]).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -174,14 +181,14 @@ mod tests {
             dev: MemDeviceId(0),
             peak_bytes: 50,
             capacity: 200,
-            bytes_transferred: 0.0,
+            bytes_transferred: 0,
         };
         assert_eq!(d.peak_utilization(), 0.25);
         let empty = DeviceSummary {
             dev: MemDeviceId(1),
             peak_bytes: 0,
             capacity: 0,
-            bytes_transferred: 0.0,
+            bytes_transferred: 0,
         };
         assert_eq!(empty.peak_utilization(), 0.0);
     }
@@ -193,13 +200,13 @@ mod tests {
             dev: MemDeviceId(0),
             peak_bytes: 100,
             capacity: 100,
-            bytes_transferred: 0.0,
+            bytes_transferred: 0,
         });
         r.devices.push(DeviceSummary {
             dev: MemDeviceId(1),
             peak_bytes: 0,
             capacity: 300,
-            bytes_transferred: 0.0,
+            bytes_transferred: 0,
         });
         assert_eq!(r.aggregate_peak_utilization(), 0.25);
     }

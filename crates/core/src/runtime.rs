@@ -64,11 +64,18 @@ impl Runtime {
     pub fn new(topo: Topology, config: RuntimeConfig) -> Self {
         let mut engine = PlacementEngine::new(config.placement);
         engine.model.awareness = config.awareness;
-        let trace = if config.trace {
+        let mut trace = if config.trace {
             Trace::enabled()
         } else {
             Trace::disabled()
         };
+        // Stream events to the configured observer as they are emitted.
+        // The null slot installs no tap at all, so observability-off
+        // costs exactly one untaken branch per event.
+        if config.observer.is_active() {
+            let slot = config.observer.clone();
+            trace.set_tap(Box::new(move |e| slot.emit(e)));
+        }
         Runtime {
             mgr: RegionManager::new(&topo),
             ledger: BandwidthLedger::default_buckets(),
@@ -301,4 +308,10 @@ fn merge_reports(into: &mut RunReport, wave: RunReport) {
     into.devices = wave.devices;
     into.persistent_replicas.extend(wave.persistent_replicas);
     into.events += wave.events;
+    into.edges.extend(wave.edges);
+    // Metrics accumulate in the observer across waves; the last wave's
+    // snapshot is the complete one.
+    if wave.metrics.is_some() {
+        into.metrics = wave.metrics;
+    }
 }

@@ -145,11 +145,27 @@ impl TraceEvent {
     }
 }
 
+/// A streaming hook called once per event, at emission time, before the
+/// event is (maybe) buffered. Observability layers above this crate
+/// install one to see events as they happen instead of post-mortem.
+pub type TraceTap = Box<dyn FnMut(&TraceEvent) + Send>;
+
 /// An append-only event log with aggregate queries.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     enabled: bool,
+    tap: Option<TraceTap>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("events", &self.events)
+            .field("enabled", &self.enabled)
+            .field("tap", &self.tap.as_ref().map(|_| "..."))
+            .finish()
+    }
 }
 
 impl Trace {
@@ -158,6 +174,7 @@ impl Trace {
         Trace {
             events: Vec::new(),
             enabled: true,
+            tap: None,
         }
     }
 
@@ -166,8 +183,29 @@ impl Trace {
         Trace::default()
     }
 
-    /// Records an event (no-op when disabled).
+    /// Installs a streaming tap. The tap sees every pushed event even
+    /// when buffering is disabled, so a streaming observer does not
+    /// require paying for the in-memory event log.
+    pub fn set_tap(&mut self, tap: TraceTap) {
+        self.tap = Some(tap);
+    }
+
+    /// Removes the streaming tap, if any.
+    pub fn clear_tap(&mut self) {
+        self.tap = None;
+    }
+
+    /// True if a streaming tap is installed.
+    pub fn has_tap(&self) -> bool {
+        self.tap.is_some()
+    }
+
+    /// Records an event: streams it to the tap (if installed), then
+    /// buffers it (if enabled).
     pub fn push(&mut self, event: TraceEvent) {
+        if let Some(tap) = &mut self.tap {
+            tap(&event);
+        }
         if self.enabled {
             self.events.push(event);
         }
@@ -241,14 +279,16 @@ impl Trace {
     /// abstraction layers; the answer starts with being able to get the
     /// events out.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,at_ns,took_ns,region,dev_from,dev_to,bytes,job,task,op\n");
+        let mut out = String::from(
+            "kind,at_ns,took_ns,region,dev_from,dev_to,bytes,job,task,from_task,to_task,op\n",
+        );
         for e in &self.events {
             let line = match *e {
                 TraceEvent::Alloc { region, dev, bytes, at } => {
-                    format!("alloc,{},,{region},{},,{bytes},,,", at.as_nanos(), dev.0)
+                    format!("alloc,{},,{region},{},,{bytes},,,,,", at.as_nanos(), dev.0)
                 }
                 TraceEvent::Free { region, dev, bytes, at } => {
-                    format!("free,{},,{region},{},,{bytes},,,", at.as_nanos(), dev.0)
+                    format!("free,{},,{region},{},,{bytes},,,,,", at.as_nanos(), dev.0)
                 }
                 TraceEvent::Access { region, dev, bytes, op, at, took } => {
                     let opn = match op {
@@ -256,7 +296,7 @@ impl Trace {
                         AccessOp::Write => "write",
                     };
                     format!(
-                        "access,{},{},{region},{},,{bytes},,,{opn}",
+                        "access,{},{},{region},{},,{bytes},,,,,{opn}",
                         at.as_nanos(),
                         took.as_nanos(),
                         dev.0
@@ -264,7 +304,7 @@ impl Trace {
                 }
                 TraceEvent::Migrate { region, from, to, bytes, at, took } => {
                     format!(
-                        "migrate,{},{},{region},{},{},{bytes},,,",
+                        "migrate,{},{},{region},{},{},{bytes},,,,,",
                         at.as_nanos(),
                         took.as_nanos(),
                         from.0,
@@ -273,22 +313,22 @@ impl Trace {
                 }
                 TraceEvent::OwnershipTransfer { region, from_task, to_task, bytes, at } => {
                     format!(
-                        "transfer,{},,{region},,,{bytes},,{from_task}->{to_task},",
+                        "transfer,{},,{region},,,{bytes},,,{from_task},{to_task},",
                         at.as_nanos()
                     )
                 }
                 TraceEvent::TaskStart { job, task, on, at } => {
-                    format!("task_start,{},,,{},,,{job},{task},", at.as_nanos(), on.0)
+                    format!("task_start,{},,,{},,,{job},{task},,,", at.as_nanos(), on.0)
                 }
                 TraceEvent::TaskFinish { job, task, on, at } => {
-                    format!("task_finish,{},,,{},,,{job},{task},", at.as_nanos(), on.0)
+                    format!("task_finish,{},,,{},,,{job},{task},,,", at.as_nanos(), on.0)
                 }
                 TraceEvent::TaskQueued { job, task, on, at } => {
-                    format!("task_queued,{},,,{},,,{job},{task},", at.as_nanos(), on.0)
+                    format!("task_queued,{},,,{},,,{job},{task},,,", at.as_nanos(), on.0)
                 }
                 TraceEvent::TaskDispatch { job, task, on, at, waited } => {
                     format!(
-                        "task_dispatch,{},{},,{},,,{job},{task},",
+                        "task_dispatch,{},{},,{},,,{job},{task},,,",
                         at.as_nanos(),
                         waited.as_nanos(),
                         on.0
@@ -443,5 +483,36 @@ mod tests {
         for l in &lines[1..] {
             assert_eq!(l.matches(',').count(), cols, "bad row: {l}");
         }
+        // Ownership transfers carry their endpoints in dedicated
+        // columns, not stuffed into the task field.
+        let header: Vec<&str> = lines[0].split(',').collect();
+        let from_col = header.iter().position(|&h| h == "from_task").unwrap();
+        let to_col = header.iter().position(|&h| h == "to_task").unwrap();
+        let transfer = lines.iter().find(|l| l.starts_with("transfer")).unwrap();
+        let fields: Vec<&str> = transfer.split(',').collect();
+        assert_eq!(fields[from_col], "0");
+        assert_eq!(fields[to_col], "1");
+        assert!(!transfer.contains("->"), "no packed endpoints: {transfer}");
+    }
+
+    #[test]
+    fn tap_streams_every_event_even_when_buffering_is_off() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let seen = Arc::new(AtomicUsize::new(0));
+        for (mut t, buffered) in [(Trace::enabled(), 2), (Trace::disabled(), 0)] {
+            let n = seen.clone();
+            t.set_tap(Box::new(move |_| {
+                n.fetch_add(1, Ordering::Relaxed);
+            }));
+            assert!(t.has_tap());
+            t.push(access(0, 64));
+            t.push(access(1, 64));
+            assert_eq!(t.len(), buffered);
+            t.clear_tap();
+            t.push(access(0, 64)); // not streamed
+            assert!(!t.has_tap());
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), 4, "2 taps x 2 pushes");
     }
 }

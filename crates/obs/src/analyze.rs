@@ -1,0 +1,266 @@
+//! Critical-path extraction over the executed task/edge DAG.
+//!
+//! The makespan of a dataflow run is governed by its longest dependent
+//! chain, not by total work. Given the spans of every executed task
+//! (with per-layer attribution from the profiler) and the dataflow
+//! edges that actually gated them, [`critical_paths`] returns the top-k
+//! heaviest source→sink chains, each with its time split across the
+//! abstraction layers — so the answer to "why is this run slow" points
+//! at *a specific chain of tasks* and *a specific layer* (application
+//! compute, programming-model memory stalls, or runtime overhead),
+//! exactly what Challenge 8(1) asks for.
+
+use std::fmt::Write as _;
+
+use disagg_hwsim::time::{SimDuration, SimTime};
+
+/// One executed task with its layer breakdown: the analyzer's input,
+/// produced from a `RunReport` by the core crate's profiling glue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Job identifier.
+    pub job: u64,
+    /// Task index within the job.
+    pub task: u64,
+    /// Task name.
+    pub name: String,
+    /// Compute device the task ran on (its Perfetto lane).
+    pub lane: u32,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual finish time.
+    pub finish: SimTime,
+    /// Application layer: pure compute.
+    pub compute: SimDuration,
+    /// Programming-model layer: memory stalls (sync + unhidden async).
+    pub mem_stall: SimDuration,
+    /// Runtime layer: launch overhead, placement, handover, crypto.
+    pub runtime: SimDuration,
+}
+
+impl TaskSpan {
+    /// Wall-clock (virtual) span length.
+    pub fn duration(&self) -> SimDuration {
+        self.finish - self.start
+    }
+}
+
+/// One extracted chain, heaviest first in [`critical_paths`]' output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Indices into the input span slice, in source→sink order.
+    pub spans: Vec<usize>,
+    /// Sum of span durations along the chain.
+    pub total: SimDuration,
+    /// Chain time spent in application compute.
+    pub compute: SimDuration,
+    /// Chain time stalled on memory.
+    pub mem_stall: SimDuration,
+    /// Chain time spent in the runtime layer.
+    pub runtime: SimDuration,
+}
+
+impl CriticalPath {
+    /// Renders one line: total, per-layer split, and the chain.
+    pub fn render(&self, spans: &[TaskSpan]) -> String {
+        let chain: Vec<&str> = self.spans.iter().map(|&i| spans[i].name.as_str()).collect();
+        format!(
+            "{} (compute {}, mem-stall {}, runtime {}): {}",
+            self.total,
+            self.compute,
+            self.mem_stall,
+            self.runtime,
+            chain.join(" -> ")
+        )
+    }
+}
+
+/// Extracts the top-`k` heaviest source→sink chains.
+///
+/// `edges` are `(from, to)` indices into `spans` — the dataflow edges
+/// the executor actually honored. Chain weight is the sum of span
+/// durations; ties break toward the lower span index, so the output is
+/// deterministic. Edges referencing out-of-range spans are ignored.
+pub fn critical_paths(spans: &[TaskSpan], edges: &[(usize, usize)], k: usize) -> Vec<CriticalPath> {
+    let n = spans.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        if a < n && b < n && a != b {
+            succ[a].push(b);
+            pred[b].push(a);
+        }
+    }
+    // Kahn topological order (executed DAGs are acyclic by
+    // construction; if a cycle sneaks in, its nodes are skipped).
+    let mut indeg: Vec<usize> = pred.iter().map(Vec::len).collect();
+    let mut order: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut head = 0;
+    while head < order.len() {
+        let u = order[head];
+        head += 1;
+        for &s in &succ[u] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                order.push(s);
+            }
+        }
+    }
+
+    // Longest chain ending at each node, with deterministic
+    // lowest-index predecessor on ties.
+    let weight = |i: usize| spans[i].duration().as_nanos() as u128;
+    let mut best: Vec<u128> = vec![0; n];
+    let mut back: Vec<Option<usize>> = vec![None; n];
+    for &u in &order {
+        let mut b = 0u128;
+        let mut from = None;
+        for &p in &pred[u] {
+            if best[p] > b {
+                b = best[p];
+                from = Some(p);
+            }
+        }
+        best[u] = b + weight(u);
+        back[u] = from;
+    }
+
+    // Positive weights mean extending a chain never shrinks it, so the
+    // heaviest chains end at sinks; rank sinks by weight (desc), index
+    // (asc).
+    let mut sinks: Vec<usize> = (0..n).filter(|&i| succ[i].is_empty()).collect();
+    sinks.sort_by_key(|&i| (std::cmp::Reverse(best[i]), i));
+    sinks
+        .into_iter()
+        .take(k)
+        .map(|end| {
+            let mut chain = vec![end];
+            let mut cur = end;
+            while let Some(p) = back[cur] {
+                chain.push(p);
+                cur = p;
+            }
+            chain.reverse();
+            let sum = |f: fn(&TaskSpan) -> SimDuration| -> SimDuration {
+                chain.iter().map(|&i| f(&spans[i])).sum()
+            };
+            CriticalPath {
+                total: sum(TaskSpan::duration),
+                compute: sum(|s| s.compute),
+                mem_stall: sum(|s| s.mem_stall),
+                runtime: sum(|s| s.runtime),
+                spans: chain,
+            }
+        })
+        .collect()
+}
+
+/// Renders the top-k report as one block of text.
+pub fn render_critical_paths(spans: &[TaskSpan], paths: &[CriticalPath]) -> String {
+    let mut out = String::new();
+    for (i, p) in paths.iter().enumerate() {
+        let _ = writeln!(out, "#{} {}", i + 1, p.render(spans));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, task: u64, start: u64, finish: u64) -> TaskSpan {
+        TaskSpan {
+            job: 0,
+            task,
+            name: name.to_string(),
+            lane: 0,
+            start: SimTime(start),
+            finish: SimTime(finish),
+            compute: SimDuration(finish - start),
+            mem_stall: SimDuration::ZERO,
+            runtime: SimDuration::ZERO,
+        }
+    }
+
+    /// Diamond: 0=source, 1=slow branch, 2=fast branch, 3=sink.
+    fn diamond() -> (Vec<TaskSpan>, Vec<(usize, usize)>) {
+        let spans = vec![
+            span("source", 0, 0, 10),
+            span("slow", 1, 10, 110),
+            span("fast", 2, 10, 30),
+            span("sink", 3, 110, 120),
+        ];
+        let edges = vec![(0, 1), (0, 2), (1, 3), (2, 3)];
+        (spans, edges)
+    }
+
+    #[test]
+    fn diamond_critical_path_takes_the_slow_branch() {
+        let (spans, edges) = diamond();
+        let paths = critical_paths(&spans, &edges, 3);
+        assert_eq!(paths.len(), 1, "one sink, one chain");
+        let names: Vec<&str> = paths[0].spans.iter().map(|&i| spans[i].name.as_str()).collect();
+        assert_eq!(names, vec!["source", "slow", "sink"]);
+        assert_eq!(paths[0].total, SimDuration(10 + 100 + 10));
+        assert_eq!(paths[0].compute, paths[0].total);
+    }
+
+    #[test]
+    fn top_k_ranks_sinks_by_chain_weight() {
+        // Two independent chains: 0→1 (weight 50) and 2→3 (weight 200).
+        let spans = vec![
+            span("a0", 0, 0, 20),
+            span("a1", 1, 20, 50),
+            span("b0", 2, 0, 120),
+            span("b1", 3, 120, 200),
+        ];
+        let edges = vec![(0, 1), (2, 3)];
+        let paths = critical_paths(&spans, &edges, 2);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].total, SimDuration(200));
+        assert_eq!(paths[1].total, SimDuration(50));
+        assert!(paths[0].total >= paths[1].total, "heaviest first");
+    }
+
+    #[test]
+    fn layer_attribution_sums_along_the_chain() {
+        let mut s0 = span("x", 0, 0, 100);
+        s0.compute = SimDuration(60);
+        s0.mem_stall = SimDuration(30);
+        s0.runtime = SimDuration(10);
+        let mut s1 = span("y", 1, 100, 150);
+        s1.compute = SimDuration(20);
+        s1.mem_stall = SimDuration(25);
+        s1.runtime = SimDuration(5);
+        let paths = critical_paths(&[s0, s1], &[(0, 1)], 1);
+        assert_eq!(paths[0].compute, SimDuration(80));
+        assert_eq!(paths[0].mem_stall, SimDuration(55));
+        assert_eq!(paths[0].runtime, SimDuration(15));
+        assert_eq!(
+            paths[0].compute + paths[0].mem_stall + paths[0].runtime,
+            paths[0].total
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert!(critical_paths(&[], &[], 5).is_empty());
+        let (spans, edges) = diamond();
+        assert!(critical_paths(&spans, &edges, 0).is_empty());
+        // Out-of-range and self edges are ignored, not panics.
+        let paths = critical_paths(&spans, &[(0, 99), (1, 1)], 1);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn render_names_the_chain() {
+        let (spans, edges) = diamond();
+        let paths = critical_paths(&spans, &edges, 1);
+        let text = render_critical_paths(&spans, &paths);
+        assert!(text.contains("source -> slow -> sink"), "{text}");
+        assert!(text.starts_with("#1 "));
+    }
+}

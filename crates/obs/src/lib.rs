@@ -1,0 +1,44 @@
+//! # disagg-obs — streaming observability for the disagg runtime
+//!
+//! The paper's Challenge 8(1) asks how to debug, profile, and optimize
+//! dataflow applications when the runtime system hides the
+//! performance-relevant details across abstraction layers. The buffered
+//! [`Trace`](disagg_hwsim::trace::Trace) answers post-hoc aggregate
+//! questions ("how many bytes moved?"); this crate answers the
+//! *cross-layer* ones — who stalled on which remote device, when, and
+//! why — while the run is still in flight:
+//!
+//! - [`observer`] — the streaming [`Observer`] event sink the executor
+//!   emits into as events happen, a zero-overhead [`NullObserver`]
+//!   default, and the cloneable [`ObserverSlot`] config handle;
+//! - [`metrics`] — a deterministic [`MetricsRegistry`] of counters and
+//!   log2-bucket histograms (queue wait, access latency, migration
+//!   sizes, per-device bytes), all recorded in *virtual* time so two
+//!   runs of the same submission produce identical snapshots;
+//! - [`timeline`] — per-device utilization and queue-depth timelines
+//!   sampled on event boundaries;
+//! - [`analyze`] — critical-path extraction over the executed task/edge
+//!   DAG with per-layer attribution (compute / memory stall / runtime);
+//! - [`export`] — Chrome trace-event JSON (loadable in Perfetto, one
+//!   lane per compute/memory device) and folded flamegraph stacks;
+//! - [`json`] — a dependency-free JSON reader used to validate emitted
+//!   traces.
+//!
+//! Everything here consumes the same [`TraceEvent`]s the buffered trace
+//! records, so the streaming and buffered views of a run are
+//! bit-for-bit interchangeable (pinned by `tests/equivalence.rs`).
+//!
+//! [`TraceEvent`]: disagg_hwsim::trace::TraceEvent
+
+pub mod analyze;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod timeline;
+
+pub use analyze::{critical_paths, render_critical_paths, CriticalPath, TaskSpan};
+pub use export::{chrome_trace, folded_stacks, validate_chrome_trace, ChromeTraceStats};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry, MetricsSnapshot};
+pub use observer::{CollectingObserver, FullObserver, NullObserver, Observer, ObserverSlot};
+pub use timeline::{DeviceTimelines, Timeline, TimelineRecorder};

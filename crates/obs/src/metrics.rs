@@ -1,0 +1,443 @@
+//! The deterministic metrics registry.
+//!
+//! Counters and log2-bucket histograms keyed by name, fed from the
+//! event stream. Every recorded value is *virtual* (virtual
+//! nanoseconds, byte counts) and every container is ordered
+//! (`BTreeMap`), so two runs of the same submission produce identical
+//! snapshots — metrics are part of the reproducibility contract, not an
+//! approximation of it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use disagg_hwsim::trace::TraceEvent;
+
+use crate::observer::Observer;
+
+/// Number of log2 buckets: bucket `i` holds values `v` with
+/// `bit_len(v) == i`, i.e. bucket 0 is `v == 0`, bucket 1 is `v == 1`,
+/// bucket 2 is `2..=3`, and so on up to `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucket histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Occupancy per log2 bucket.
+    pub buckets: [u64; BUCKETS],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The log2 bucket index of a value.
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the smallest bucket holding the p-quantile
+    /// (`p` in `[0, 1]`): a deterministic percentile estimate with
+    /// power-of-two resolution.
+    pub fn quantile_bound(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * p).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// An immutable histogram summary carried in snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest value (0 when empty, for display friendliness).
+    pub min: u64,
+    /// Largest value.
+    pub max: u64,
+    /// p50 bucket upper bound.
+    pub p50: u64,
+    /// p99 bucket upper bound.
+    pub p99: u64,
+    /// Non-empty log2 buckets as `(bucket_index, occupancy)`.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn of(h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: if h.count == 0 { 0 } else { h.min },
+            max: h.max,
+            p50: h.quantile_bound(0.50),
+            p99: h.quantile_bound(0.99),
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (i as u8, n))
+                .collect(),
+        }
+    }
+}
+
+/// Counters + histograms keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to a counter (creating it at 0).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
+    }
+
+    /// Records a value into a histogram (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Feeds one event into the standard runtime metrics: event-kind
+    /// counters, byte accounting per device, and the queue-wait /
+    /// access-latency / migration-size / task-duration histograms.
+    pub fn record(&mut self, e: &TraceEvent) {
+        self.incr("events", 1);
+        match *e {
+            TraceEvent::Alloc { dev, bytes, .. } => {
+                self.incr("events.alloc", 1);
+                self.incr("bytes.allocated", bytes);
+                self.observe("alloc_bytes", bytes);
+                self.incr(&format!("dev.mem{}.allocs", dev.0), 1);
+            }
+            TraceEvent::Free { .. } => self.incr("events.free", 1),
+            TraceEvent::Access { dev, bytes, took, .. } => {
+                self.incr("events.access", 1);
+                self.incr("bytes.moved", bytes);
+                self.incr(&format!("dev.mem{}.bytes", dev.0), bytes);
+                self.observe("access_ns", took.as_nanos());
+            }
+            TraceEvent::Migrate { from, to, bytes, took, .. } => {
+                self.incr("events.migrate", 1);
+                self.incr("bytes.moved", bytes);
+                self.incr(&format!("dev.mem{}.bytes", from.0), bytes);
+                self.incr(&format!("dev.mem{}.bytes", to.0), bytes);
+                self.observe("migrate_bytes", bytes);
+                self.observe("migrate_ns", took.as_nanos());
+            }
+            TraceEvent::OwnershipTransfer { bytes, .. } => {
+                self.incr("events.transfer", 1);
+                self.incr("bytes.ownership", bytes);
+                self.observe("transfer_bytes", bytes);
+            }
+            TraceEvent::TaskQueued { .. } => self.incr("events.task_queued", 1),
+            TraceEvent::TaskDispatch { on, waited, .. } => {
+                self.incr("events.task_dispatch", 1);
+                self.incr(&format!("dev.cpu{}.dispatches", on.0), 1);
+                self.observe("queue_wait_ns", waited.as_nanos());
+            }
+            TraceEvent::TaskStart { on, .. } => {
+                self.incr("events.task_start", 1);
+                self.incr(&format!("dev.cpu{}.tasks", on.0), 1);
+            }
+            TraceEvent::TaskFinish { .. } => self.incr("events.task_finish", 1),
+        }
+    }
+
+    /// An immutable snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
+                .collect(),
+        }
+    }
+}
+
+/// A metrics-only streaming sink.
+#[derive(Debug, Default)]
+pub struct MetricsObserver {
+    /// The registry being maintained.
+    pub registry: MetricsRegistry,
+}
+
+impl Observer for MetricsObserver {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.registry.record(event);
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(self.registry.snapshot())
+    }
+}
+
+/// What a run's metrics looked like at snapshot time. Attached to
+/// `RunReport` when the runtime carries a metrics-keeping observer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` in name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, summary)` in name order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders an aligned human-readable listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(k, _)| k.len())
+            .chain(self.histograms.iter().map(|(k, _)| k.len()))
+            .max()
+            .unwrap_or(0);
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k:<width$}  {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{k:<width$}  count={} sum={} min={} p50<={} p99<={} max={}",
+                h.count, h.sum, h.min, h.p50, h.p99, h.max
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot as JSON (hand-rolled; the workspace stays
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", crate::json::escape(k));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|&(b, n)| format!("[{b},{n}]"))
+                .collect();
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"p50\": {}, \
+                 \"p99\": {}, \"max\": {}, \"log2_buckets\": [{}]}}",
+                crate::json::escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.p50,
+                h.p99,
+                h.max,
+                buckets.join(", ")
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disagg_hwsim::device::AccessOp;
+    use disagg_hwsim::ids::{ComputeId, MemDeviceId};
+    use disagg_hwsim::time::{SimDuration, SimTime};
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 4, 8, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1039);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1024);
+        assert!(h.quantile_bound(0.5) >= 4);
+        assert!(h.quantile_bound(0.99) >= 1024);
+        assert_eq!(Histogram::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn registry_records_standard_metrics() {
+        let mut r = MetricsRegistry::new();
+        r.record(&TraceEvent::Access {
+            region: 0,
+            dev: MemDeviceId(2),
+            bytes: 4096,
+            op: AccessOp::Read,
+            at: SimTime(10),
+            took: SimDuration(100),
+        });
+        r.record(&TraceEvent::TaskDispatch {
+            job: 0,
+            task: 1,
+            on: ComputeId(0),
+            at: SimTime(50),
+            waited: SimDuration(40),
+        });
+        r.record(&TraceEvent::Migrate {
+            region: 0,
+            from: MemDeviceId(0),
+            to: MemDeviceId(2),
+            bytes: 100,
+            at: SimTime(60),
+            took: SimDuration(5),
+        });
+        assert_eq!(r.counter("events"), 3);
+        assert_eq!(r.counter("bytes.moved"), 4196);
+        assert_eq!(r.counter("dev.mem2.bytes"), 4196);
+        assert_eq!(r.counter("dev.mem0.bytes"), 100);
+        assert_eq!(r.histogram("queue_wait_ns").unwrap().sum, 40);
+        assert_eq!(r.histogram("access_ns").unwrap().count, 1);
+        assert_eq!(r.histogram("migrate_bytes").unwrap().max, 100);
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_and_queryable() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.incr("b", 2);
+            r.incr("a", 1);
+            r.observe("h", 7);
+            r.snapshot()
+        };
+        let s1 = build();
+        let s2 = build();
+        assert_eq!(s1, s2);
+        // Name-ordered regardless of insertion order.
+        assert_eq!(s1.counters[0].0, "a");
+        assert_eq!(s1.counter("b"), 2);
+        assert_eq!(s1.counter("missing"), 0);
+        assert_eq!(s1.histogram("h").unwrap().count, 1);
+        let json = s1.to_json();
+        assert!(json.contains("\"a\": 1"));
+        assert!(json.contains("\"log2_buckets\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(s1.render().contains("p50<="));
+    }
+}

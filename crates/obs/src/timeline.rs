@@ -1,0 +1,275 @@
+//! Per-device timelines sampled on event boundaries.
+//!
+//! Three step functions per device class, rebuilt from the event
+//! stream:
+//!
+//! - **utilization** — busy lanes per compute device (`TaskStart` /
+//!   `TaskFinish`);
+//! - **queue depth** — ready tasks waiting per compute device
+//!   (`TaskQueued` / `TaskDispatch`);
+//! - **resident bytes** — allocated bytes per memory device (`Alloc` /
+//!   `Free`).
+//!
+//! Events arrive in *emission* order, which is not virtual-time order
+//! (a task's finish is emitted the moment the task is dispatched, with
+//! a future timestamp), so the recorder buffers `(time, seq, delta)`
+//! triples and sorts them once at finalize time. The `seq` tie-break
+//! keeps equal-time deltas in emission order, so finalized timelines
+//! are bit-for-bit deterministic.
+
+use std::collections::BTreeMap;
+
+use disagg_hwsim::time::SimTime;
+use disagg_hwsim::trace::TraceEvent;
+
+/// Buffered step deltas for one device metric.
+#[derive(Debug, Clone, Default)]
+struct Deltas {
+    /// `(at, seq, delta)` in emission order.
+    raw: Vec<(SimTime, u64, i64)>,
+}
+
+impl Deltas {
+    fn push(&mut self, at: SimTime, seq: u64, delta: i64) {
+        self.raw.push((at, seq, delta));
+    }
+
+    fn finalize(&self) -> Timeline {
+        let mut raw = self.raw.clone();
+        raw.sort_by_key(|&(at, seq, _)| (at, seq));
+        let mut points = Vec::with_capacity(raw.len());
+        let mut level = 0i64;
+        for (at, _, d) in raw {
+            level += d;
+            match points.last_mut() {
+                // Coalesce same-instant deltas into one sample.
+                Some((t, v)) if *t == at => *v = level,
+                _ => points.push((at, level)),
+            }
+        }
+        Timeline { points }
+    }
+}
+
+/// A finalized step function: the metric's value from each sample time
+/// until the next.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// `(time, value)` samples, strictly increasing in time.
+    pub points: Vec<(SimTime, i64)>,
+}
+
+impl Timeline {
+    /// The value in effect at `t` (0 before the first sample).
+    pub fn value_at(&self, t: SimTime) -> i64 {
+        match self.points.partition_point(|&(at, _)| at <= t) {
+            0 => 0,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// The peak value across the run.
+    pub fn peak(&self) -> i64 {
+        self.points.iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+
+    /// Virtual time integral of the step function between the first
+    /// and last sample (value × duration, summed) — e.g. lane-seconds
+    /// of busy time for a utilization timeline.
+    pub fn integral(&self) -> i128 {
+        let mut acc = 0i128;
+        for w in self.points.windows(2) {
+            let (t0, v) = w[0];
+            let (t1, _) = w[1];
+            acc += v as i128 * (t1.as_nanos() - t0.as_nanos()) as i128;
+        }
+        acc
+    }
+
+    /// Number of samples (event boundaries that changed the value).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the metric never changed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Streams events into per-device delta buffers.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineRecorder {
+    seq: u64,
+    busy: BTreeMap<u32, Deltas>,
+    queue: BTreeMap<u32, Deltas>,
+    resident: BTreeMap<u32, Deltas>,
+}
+
+impl TimelineRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TimelineRecorder::default()
+    }
+
+    /// Feeds one event.
+    pub fn record(&mut self, e: &TraceEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        match *e {
+            TraceEvent::TaskStart { on, at, .. } => {
+                self.busy.entry(on.0).or_default().push(at, seq, 1);
+            }
+            TraceEvent::TaskFinish { on, at, .. } => {
+                self.busy.entry(on.0).or_default().push(at, seq, -1);
+            }
+            TraceEvent::TaskQueued { on, at, .. } => {
+                self.queue.entry(on.0).or_default().push(at, seq, 1);
+            }
+            TraceEvent::TaskDispatch { on, at, .. } => {
+                self.queue.entry(on.0).or_default().push(at, seq, -1);
+            }
+            TraceEvent::Alloc { dev, bytes, at, .. } => {
+                self.resident
+                    .entry(dev.0)
+                    .or_default()
+                    .push(at, seq, bytes as i64);
+            }
+            TraceEvent::Free { dev, bytes, at, .. } => {
+                self.resident
+                    .entry(dev.0)
+                    .or_default()
+                    .push(at, seq, -(bytes as i64));
+            }
+            _ => {}
+        }
+    }
+
+    /// Sorts and collapses the buffered deltas into per-device step
+    /// functions.
+    pub fn finalize(&self) -> DeviceTimelines {
+        let fin = |m: &BTreeMap<u32, Deltas>| -> Vec<(u32, Timeline)> {
+            m.iter().map(|(&d, ds)| (d, ds.finalize())).collect()
+        };
+        DeviceTimelines {
+            utilization: fin(&self.busy),
+            queue_depth: fin(&self.queue),
+            resident_bytes: fin(&self.resident),
+        }
+    }
+}
+
+/// The finalized per-device timelines of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceTimelines {
+    /// Busy lanes per compute device, by device index.
+    pub utilization: Vec<(u32, Timeline)>,
+    /// Ready-queue depth per compute device, by device index.
+    pub queue_depth: Vec<(u32, Timeline)>,
+    /// Allocated bytes per memory device, by device index.
+    pub resident_bytes: Vec<(u32, Timeline)>,
+}
+
+impl DeviceTimelines {
+    fn find(list: &[(u32, Timeline)], dev: u32) -> Option<&Timeline> {
+        list.iter().find(|&&(d, _)| d == dev).map(|(_, t)| t)
+    }
+
+    /// Utilization timeline of one compute device.
+    pub fn utilization_of(&self, dev: u32) -> Option<&Timeline> {
+        Self::find(&self.utilization, dev)
+    }
+
+    /// Queue-depth timeline of one compute device.
+    pub fn queue_depth_of(&self, dev: u32) -> Option<&Timeline> {
+        Self::find(&self.queue_depth, dev)
+    }
+
+    /// Resident-bytes timeline of one memory device.
+    pub fn resident_bytes_of(&self, dev: u32) -> Option<&Timeline> {
+        Self::find(&self.resident_bytes, dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disagg_hwsim::ids::ComputeId;
+
+    fn start(task: u64, at: u64) -> TraceEvent {
+        TraceEvent::TaskStart { job: 0, task, on: ComputeId(0), at: SimTime(at) }
+    }
+
+    fn finish(task: u64, at: u64) -> TraceEvent {
+        TraceEvent::TaskFinish { job: 0, task, on: ComputeId(0), at: SimTime(at) }
+    }
+
+    #[test]
+    fn out_of_order_emission_sorts_into_a_step_function() {
+        let mut r = TimelineRecorder::new();
+        // Emission order: task 0 start@0, finish@100 (emitted early),
+        // then task 1 start@50, finish@150.
+        r.record(&start(0, 0));
+        r.record(&finish(0, 100));
+        r.record(&start(1, 50));
+        r.record(&finish(1, 150));
+        let t = r.finalize();
+        let util = t.utilization_of(0).expect("device 0 has a timeline");
+        assert_eq!(
+            util.points,
+            vec![
+                (SimTime(0), 1),
+                (SimTime(50), 2),
+                (SimTime(100), 1),
+                (SimTime(150), 0),
+            ]
+        );
+        assert_eq!(util.peak(), 2);
+        assert_eq!(util.value_at(SimTime(75)), 2);
+        assert_eq!(util.value_at(SimTime(149)), 1);
+        // 1*50 + 2*50 + 1*50 lane-ns of busy time.
+        assert_eq!(util.integral(), 200);
+    }
+
+    #[test]
+    fn same_instant_deltas_coalesce() {
+        let mut r = TimelineRecorder::new();
+        r.record(&start(0, 10));
+        r.record(&finish(0, 10));
+        let t = r.finalize();
+        let util = t.utilization_of(0).unwrap();
+        assert_eq!(util.points, vec![(SimTime(10), 0)]);
+    }
+
+    #[test]
+    fn queue_depth_tracks_queued_minus_dispatched() {
+        let mut r = TimelineRecorder::new();
+        r.record(&TraceEvent::TaskQueued { job: 0, task: 0, on: ComputeId(1), at: SimTime(0) });
+        r.record(&TraceEvent::TaskQueued { job: 0, task: 1, on: ComputeId(1), at: SimTime(0) });
+        r.record(&TraceEvent::TaskDispatch {
+            job: 0,
+            task: 0,
+            on: ComputeId(1),
+            at: SimTime(5),
+            waited: disagg_hwsim::time::SimDuration(5),
+        });
+        let t = r.finalize();
+        let q = t.queue_depth_of(1).unwrap();
+        assert_eq!(q.value_at(SimTime(0)), 2);
+        assert_eq!(q.value_at(SimTime(5)), 1);
+        assert!(t.queue_depth_of(9).is_none());
+    }
+
+    #[test]
+    fn finalize_is_deterministic() {
+        let run = || {
+            let mut r = TimelineRecorder::new();
+            for i in 0..32 {
+                r.record(&start(i, i * 3 % 7));
+                r.record(&finish(i, i * 3 % 7 + 10));
+            }
+            r.finalize()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,8 +1,9 @@
 //! # disagg — one front door for the whole stack
 //!
-//! The implementation lives in seven layer crates (`disagg-hwsim`,
+//! The implementation lives in eight layer crates (`disagg-hwsim`,
 //! `disagg-region`, `disagg-dataflow`, `disagg-sched`, `disagg-ftol`,
-//! `disagg-core`, `disagg-workloads`); this crate is the curated facade
+//! `disagg-obs`, `disagg-core`, `disagg-workloads`); this crate is the
+//! curated facade
 //! applications are meant to depend on. Deep `disagg_*::` paths still
 //! work but are a private detail of the workspace — new code should
 //! reach everything through here:
@@ -13,7 +14,7 @@
 //! - top-level re-exports of the runtime types ([`Runtime`],
 //!   [`RuntimeConfig`], [`RunReport`], [`DisaggError`]);
 //! - layer modules ([`hwsim`], [`region`], [`dataflow`], [`sched`],
-//!   [`ftol`], [`workloads`]) for the long tail.
+//!   [`ftol`], [`obs`], [`workloads`]) for the long tail.
 //!
 //! ```
 //! use disagg::prelude::*;
@@ -47,6 +48,7 @@
 pub use disagg_dataflow as dataflow;
 pub use disagg_ftol as ftol;
 pub use disagg_hwsim as hwsim;
+pub use disagg_obs as obs;
 pub use disagg_region as region;
 pub use disagg_sched as sched;
 pub use disagg_workloads as workloads;

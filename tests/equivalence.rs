@@ -223,6 +223,43 @@ fn rack_scale_batch_matches_pre_refactor_golden() {
     );
 }
 
+/// The streaming observer sees the exact event sequence the buffered
+/// trace records: running the rack-scale golden workload with a
+/// [`CollectingObserver`] attached yields a stream whose FNV digest
+/// equals the buffered trace's digest — which is itself pinned above in
+/// [`rack_scale_batch_matches_pre_refactor_golden`]. Observability is a
+/// view, not a fork.
+#[test]
+fn streaming_observer_matches_buffered_trace() {
+    use std::sync::{Arc, Mutex};
+
+    let (topo, _rack) = disagg::presets::disaggregated_rack(3, 16, 3, 128);
+    let sink = Arc::new(Mutex::new(CollectingObserver::default()));
+    let mut rt = Runtime::new(
+        topo,
+        RuntimeConfig::traced()
+            .with_admission(0.8)
+            .with_observer(ObserverSlot::shared(sink.clone())),
+    );
+    let (_, jobs) = rack_batch();
+    rt.run(jobs).unwrap();
+
+    let digest = |events: &[disagg::hwsim::trace::TraceEvent]| {
+        let mut h = 0xcbf29ce484222325u64;
+        for e in events {
+            fnv(&mut h, format!("{e:?}").as_bytes());
+        }
+        h
+    };
+    let streamed = digest(&sink.lock().unwrap().events);
+    let buffered = digest(rt.trace().events());
+    assert_eq!(streamed, buffered, "streamed events diverge from buffered trace");
+    assert_eq!(
+        buffered, 0xf23d67c2969759eb,
+        "attaching an observer must not perturb the golden trace"
+    );
+}
+
 #[test]
 fn repeated_runs_are_bit_for_bit_identical() {
     let digest = || {
