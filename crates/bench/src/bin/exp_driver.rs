@@ -164,7 +164,14 @@ fn main() {
     };
 
     if !no_json {
-        let json = driver::bench_json(&results, &throughputs, quick, threads);
+        // The chaos section carries only virtual-time fields, so the
+        // record's chaos entries are byte-identical between runs.
+        let chaos = if only.is_empty() || only.iter().any(|o| o == "chaos") {
+            driver::chaos_record(quick)
+        } else {
+            Vec::new()
+        };
+        let json = driver::bench_json(&results, &throughputs, &chaos, quick, threads);
         match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes())) {
             Ok(()) => eprintln!("wrote {json_path}"),
             Err(e) => {

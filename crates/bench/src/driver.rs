@@ -22,14 +22,16 @@ use disagg_core::obs::{
     chrome_trace, folded_stacks, render_critical_paths, validate_chrome_trace, FullObserver,
     ObserverSlot,
 };
-use disagg_core::prelude::{Runtime, RuntimeConfig};
+use disagg_core::prelude::{RecoveryPolicy, Runtime, RuntimeConfig};
 use disagg_dataflow::job::JobSpec;
 use disagg_dataflow::task::TaskId;
 use disagg_dataflow::{JobBuilder, TaskSpec};
 use disagg_hwsim::compute::WorkClass;
+use disagg_hwsim::fault::{FaultInjector, FaultKind};
 use disagg_hwsim::presets::{
     disaggregated_rack, hetero_storage_server, single_server, two_socket,
 };
+use disagg_hwsim::time::{SimDuration, SimTime};
 use disagg_hwsim::topology::Topology;
 use disagg_workloads::dbms::{query_job, DbmsConfig};
 use disagg_workloads::hospital::{hospital_job, HospitalConfig};
@@ -38,6 +40,7 @@ use disagg_workloads::ml::{training_job, MlConfig};
 use disagg_workloads::streaming::{windowed_job, StreamConfig};
 
 use crate::exp;
+use crate::exp::chaos::ChaosRow;
 
 /// Order-preserving parallel map: runs `f` over `items` on up to
 /// `threads` workers and returns results in input order. `threads <= 1`
@@ -261,6 +264,21 @@ pub fn representative(id: &str, quick: bool) -> Option<(Topology, RuntimeConfig,
             disaggregated_rack(4, 16, 4, 256).0,
             stress_jobs(if quick { 2 } else { 4 }, 4, 4),
         ),
+        // The chaos representative crashes a node halfway through the
+        // fault-free makespan (probed first), so the observer sees the
+        // detect → retry path.
+        "chaos" => {
+            let mut probe = Runtime::new(disaggregated_rack(4, 16, 4, 256).0, config.clone());
+            let t = probe.run(vec![dbms()]).expect("chaos probe run").makespan;
+            let (topo, rack) = disaggregated_rack(4, 16, 4, 256);
+            let mut faults = FaultInjector::none();
+            faults.schedule(SimTime(t.0 / 2), FaultKind::NodeCrash(rack.nodes[0]));
+            faults.schedule(SimTime(t.0 / 2 + t.0 / 4), FaultKind::NodeRecover(rack.nodes[0]));
+            let recovery = RecoveryPolicy::default()
+                .with_detection_delay(SimDuration(2_000))
+                .with_backoff(SimDuration(1_000));
+            Some((topo, config.with_faults(faults).with_recovery(recovery), vec![dbms()]))
+        }
         _ => None,
     }
 }
@@ -324,11 +342,20 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+/// Re-measures the chaos sweep for the benchmark record. Unlike the
+/// rendered table, these rows carry raw virtual-time numbers; every
+/// field is simulation-derived (no wall-clock), so the section is
+/// byte-identical across runs.
+pub fn chaos_record(quick: bool) -> Vec<ChaosRow> {
+    exp::chaos::measure(quick)
+}
+
 /// Renders the machine-readable benchmark record (`BENCH_disagg.json`).
 /// Hand-rolled JSON keeps the workspace dependency-free.
 pub fn bench_json(
     experiments: &[ExpResult],
     throughputs: &[Throughput],
+    chaos: &[ChaosRow],
     quick: bool,
     threads: usize,
 ) -> String {
@@ -366,6 +393,26 @@ pub fn bench_json(
             json_escape(e.id),
             e.wall.as_secs_f64(),
             if i + 1 < experiments.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    // Virtual-time only — this section must be byte-identical between
+    // runs (CI diffs it to police chaos-sweep determinism).
+    out.push_str("  \"chaos\": [\n");
+    for (i, r) in chaos.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mttf\": \"{}\", \"makespan_ns\": {}, \
+             \"baseline_ns\": {}, \"slowdown\": {:.4}, \"retries\": {}, \
+             \"detected\": {}, \"reconstructs\": {}}}{}\n",
+            json_escape(r.workload),
+            json_escape(r.mttf),
+            r.makespan.0,
+            r.baseline.0,
+            r.slowdown(),
+            r.retries,
+            r.detected,
+            r.reconstructs,
+            if i + 1 < chaos.len() { "," } else { "" },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -408,11 +455,22 @@ mod tests {
             output: String::new(),
             wall: Duration::from_millis(1),
         }];
-        let s = bench_json(&exps, &thru, true, 4);
+        let chaos = vec![ChaosRow {
+            workload: "dbms",
+            mttf: "0.50T",
+            makespan: SimDuration(3_000),
+            baseline: SimDuration(2_000),
+            retries: 2,
+            detected: 1,
+            reconstructs: 1,
+        }];
+        let s = bench_json(&exps, &thru, &chaos, true, 4);
         assert!(s.contains("\"schema\": \"disagg-bench-v1\""));
         assert!(s.contains("\"name\": \"j4_l8_w8\""));
         assert!(s.contains("\"speedup_vs_seed\""));
         assert!(s.contains("\"id\": \"table1\""));
+        assert!(s.contains("\"workload\": \"dbms\""));
+        assert!(s.contains("\"slowdown\": 1.5000"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
     }

@@ -1,0 +1,251 @@
+//! E16 — chaos sweep: makespan under injected faults vs. a fault-free
+//! baseline, across an MTTF sweep and three workloads.
+//!
+//! Each sweep point runs the same job on the same rack with a
+//! deterministic fault plan derived from the fault-free makespan `T`:
+//! node crash/recover pairs spaced `MTTF` apart (rotating through the
+//! compute nodes, each repaired after `MTTF/4`), one corruption burst on
+//! the first pool blade, and one degraded-fabric window at quarter
+//! bandwidth. Everything — fault times, detection, backoff, re-placement
+//! — is virtual time, so two runs of the sweep are byte-identical.
+
+use disagg_core::prelude::{Runtime, RuntimeConfig};
+use disagg_core::RecoveryPolicy;
+use disagg_dataflow::job::JobSpec;
+use disagg_hwsim::device::{AccessOp, AccessPattern};
+use disagg_hwsim::fault::{FaultInjector, FaultKind};
+use disagg_hwsim::presets::{disaggregated_rack, Rack};
+use disagg_hwsim::time::{SimDuration, SimTime};
+use disagg_hwsim::topology::Topology;
+use disagg_hwsim::trace::TraceEvent;
+use disagg_workloads::dbms::{query_job, DbmsConfig};
+use disagg_workloads::ml::{training_job, MlConfig};
+use disagg_workloads::streaming::{windowed_job, StreamConfig};
+
+use crate::{fmt_dur, Table};
+
+/// One (workload, MTTF) sweep point.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Workload label ("dbms", "ml", "stream").
+    pub workload: &'static str,
+    /// MTTF label relative to the fault-free makespan ("none", "1.00T", ...).
+    pub mttf: &'static str,
+    /// Makespan of this run (faulty or baseline).
+    pub makespan: SimDuration,
+    /// Fault-free makespan of the same workload.
+    pub baseline: SimDuration,
+    /// Task retries the recovery loop performed.
+    pub retries: u64,
+    /// Faults the runtime detected mid-task.
+    pub detected: u64,
+    /// Online reconstructions (corrupt reads healed + re-replications).
+    pub reconstructs: u64,
+}
+
+impl ChaosRow {
+    /// Makespan relative to the fault-free run.
+    pub fn slowdown(&self) -> f64 {
+        self.makespan.as_nanos_f64() / self.baseline.as_nanos_f64()
+    }
+}
+
+/// A workload builder: `quick` in, a fresh job out.
+type JobFn = fn(bool) -> JobSpec;
+
+/// The three workloads of the sweep. Function pointers because
+/// [`JobSpec`] bodies are one-shot: every run rebuilds its job.
+fn workloads() -> Vec<(&'static str, JobFn)> {
+    fn dbms(quick: bool) -> JobSpec {
+        query_job(DbmsConfig {
+            tuples: if quick { 2_000 } else { 20_000 },
+            probe_tuples: if quick { 1_000 } else { 10_000 },
+            ..DbmsConfig::default()
+        })
+    }
+    fn ml(quick: bool) -> JobSpec {
+        training_job(MlConfig {
+            samples: if quick { 1_024 } else { 4_096 },
+            ..MlConfig::default()
+        })
+    }
+    fn stream(quick: bool) -> JobSpec {
+        windowed_job(StreamConfig {
+            events: if quick { 4_000 } else { 20_000 },
+            ..StreamConfig::default()
+        })
+    }
+    vec![("dbms", dbms), ("ml", ml), ("stream", stream)]
+}
+
+/// MTTF levels as (label, divisor): `mttf = baseline / divisor`.
+fn levels(quick: bool) -> &'static [(&'static str, u64)] {
+    if quick {
+        &[("0.50T", 2)]
+    } else {
+        &[("1.00T", 1), ("0.50T", 2), ("0.25T", 4)]
+    }
+}
+
+/// The recovery policy every sweep point runs with: a real (non-oracle)
+/// detector, exponential backoff, and a bounded retry budget.
+fn policy() -> RecoveryPolicy {
+    RecoveryPolicy::default()
+        .with_max_retries(8)
+        .with_detection_delay(SimDuration(2_000))
+        .with_backoff(SimDuration(1_000))
+}
+
+/// Builds the deterministic fault plan for one sweep point: rotating
+/// node crash/recover pairs every `mttf` out to twice the fault-free
+/// horizon, one corruption burst, one quarter-bandwidth fabric window.
+fn chaos_plan(topo: &Topology, rack: &Rack, baseline: SimDuration, mttf: SimDuration) -> FaultInjector {
+    let mut f = FaultInjector::none();
+    let repair = SimDuration(mttf.0 / 4);
+    let mut k = 1u64;
+    while k.saturating_mul(mttf.0) < baseline.0.saturating_mul(2) {
+        let at = SimTime(k * mttf.0);
+        let node = rack.nodes[(k as usize - 1) % rack.nodes.len()];
+        f.schedule(at, FaultKind::NodeCrash(node));
+        f.schedule(at + repair, FaultKind::NodeRecover(node));
+        k += 1;
+    }
+    // Silent corruption bursts, early enough that the workload still
+    // reads through them and pays the online reconstruction. Local DRAM
+    // is where declarative placement puts the hot regions; the pool
+    // blade covers spill/far-memory placements.
+    for dev in [rack.drams[0], rack.pool[0]] {
+        f.schedule(SimTime(mttf.0 / 3), FaultKind::Corrupt { dev, offset: 0, len: 4 << 20 });
+    }
+    // A degraded-fabric window on the CPU→pool bottleneck link.
+    if let Some(link) = topo
+        .access_cost_parts(rack.cpus[0], rack.pool[0], 1, AccessOp::Read, AccessPattern::Sequential)
+        .and_then(|p| p.bottleneck_link)
+    {
+        f.schedule(SimTime(mttf.0 / 2), FaultKind::LinkDegraded { link, factor_pct: 25 });
+        f.schedule(SimTime(mttf.0 / 2 + mttf.0 / 4), FaultKind::LinkUp(link));
+    }
+    f
+}
+
+fn run_once(jobs: Vec<JobSpec>, faults: FaultInjector) -> ChaosRow {
+    let (topo, _rack) = disaggregated_rack(4, 16, 4, 256);
+    let config = RuntimeConfig::traced().with_faults(faults).with_recovery(policy());
+    let mut rt = Runtime::new(topo, config);
+    let report = rt.run(jobs).expect("chaos sweep point completes within its retry budget");
+    let (mut retries, mut detected, mut reconstructs) = (0u64, 0u64, 0u64);
+    for e in rt.trace().events() {
+        match e {
+            TraceEvent::TaskRetry { .. } => retries += 1,
+            TraceEvent::FaultDetected { .. } => detected += 1,
+            TraceEvent::Reconstruct { .. } => reconstructs += 1,
+            _ => {}
+        }
+    }
+    ChaosRow {
+        workload: "",
+        mttf: "",
+        makespan: report.makespan,
+        baseline: SimDuration::ZERO,
+        retries,
+        detected,
+        reconstructs,
+    }
+}
+
+/// Runs the full sweep: for each workload, one fault-free baseline plus
+/// one faulty run per MTTF level.
+pub fn measure(quick: bool) -> Vec<ChaosRow> {
+    let mut rows = Vec::new();
+    for (name, job) in workloads() {
+        let mut base = run_once(vec![job(quick)], FaultInjector::none());
+        base.workload = name;
+        base.mttf = "none";
+        base.baseline = base.makespan;
+        let baseline = base.makespan;
+        rows.push(base);
+        for &(label, divisor) in levels(quick) {
+            let mttf = SimDuration(baseline.0 / divisor);
+            let (topo, rack) = disaggregated_rack(4, 16, 4, 256);
+            let plan = chaos_plan(&topo, &rack, baseline, mttf);
+            let mut row = run_once(vec![job(quick)], plan);
+            row.workload = name;
+            row.mttf = label;
+            row.baseline = baseline;
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Runs E16.
+pub fn run(quick: bool) -> Table {
+    let rows = measure(quick);
+    let mut t = Table::new(
+        "chaos",
+        "Chaos sweep: makespan under faults vs. fault-free baseline",
+        &["Workload", "MTTF", "Makespan", "Baseline", "Slowdown", "Retries", "Detected", "Reconstructs"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.to_string(),
+            r.mttf.to_string(),
+            fmt_dur(r.makespan),
+            fmt_dur(r.baseline),
+            format!("{:.2}x", r.slowdown()),
+            r.retries.to_string(),
+            r.detected.to_string(),
+            r.reconstructs.to_string(),
+        ]);
+    }
+    t.note("fault plan is derived from the fault-free makespan T; all detection/backoff/retry is virtual time, so the sweep is bit-for-bit deterministic");
+    t.note("shorter MTTF -> more crash/recover cycles and retries; the corruption burst and degraded-link window also scale with MTTF, so slowdown is not monotone in it");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point<'a>(rows: &'a [ChaosRow], w: &str, m: &str) -> &'a ChaosRow {
+        rows.iter().find(|r| r.workload == w && r.mttf == m).unwrap()
+    }
+
+    #[test]
+    fn every_workload_has_a_baseline_and_sweep_points() {
+        let rows = measure(true);
+        for w in ["dbms", "ml", "stream"] {
+            let base = point(&rows, w, "none");
+            assert_eq!(base.makespan, base.baseline);
+            assert_eq!(base.retries, 0, "{w}: fault-free run must not retry");
+            assert_eq!(base.detected, 0);
+            let faulty = point(&rows, w, "0.50T");
+            assert_eq!(faulty.baseline, base.makespan);
+            assert!(faulty.makespan >= base.makespan, "{w}: faults cannot speed a run up");
+        }
+    }
+
+    #[test]
+    fn faults_are_detected_and_retried_somewhere_in_the_sweep() {
+        let rows = measure(true);
+        let detected: u64 = rows.iter().map(|r| r.detected).sum();
+        let retries: u64 = rows.iter().map(|r| r.retries).sum();
+        assert!(detected > 0, "the sweep must exercise mid-task fault detection");
+        assert!(retries > 0, "the sweep must exercise the retry path");
+        assert!(retries >= detected, "every detected fault relaunches at least once");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = measure(true);
+        let b = measure(true);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn table_has_one_row_per_point() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 3 * (1 + levels(true).len()));
+        assert!(t.cell("dbms", "MTTF").is_some());
+    }
+}

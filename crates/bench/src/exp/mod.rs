@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod asynk;
+pub mod chaos;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -40,6 +41,7 @@ pub fn all() -> Vec<Experiment> {
         ("stream", stream::run),
         ("online", online::run),
         ("ablation", ablation::run),
+        ("chaos", chaos::run),
     ]
 }
 
@@ -50,7 +52,7 @@ mod tests {
         let ids: Vec<&str> = super::all().iter().map(|(id, _)| *id).collect();
         for id in [
             "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "numa", "naive",
-            "async", "ftol", "tiering", "stream", "online", "ablation",
+            "async", "ftol", "tiering", "stream", "online", "ablation", "chaos",
         ] {
             assert!(ids.contains(&id), "missing experiment {id}");
         }

@@ -1,11 +1,81 @@
 //! Runtime configuration.
 
 use disagg_hwsim::fault::FaultInjector;
+use disagg_hwsim::time::SimDuration;
 use disagg_obs::ObserverSlot;
 use disagg_sched::cost::TopologyAwareness;
 use disagg_sched::lifetime::HandoverPolicy;
 use disagg_sched::placement::PlacementPolicy;
 use disagg_sched::schedule::{QueuePolicy, SchedPolicy};
+
+/// How the runtime detects and recovers from mid-task faults
+/// (Challenge 8(3)). All delays are virtual time, so recovery behavior
+/// is as reproducible as the fault schedule itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// How many times one task may be re-placed after being interrupted
+    /// before the run surfaces [`crate::DisaggError::RetriesExhausted`].
+    /// The default (3) bounds the work a flapping node can waste.
+    pub max_retries: u32,
+    /// Virtual time between a fault striking and the runtime noticing
+    /// it (failure detectors are not instant: lease expiry, missed
+    /// heartbeats). Zero models an oracle detector.
+    pub detection_delay: SimDuration,
+    /// Base relaunch backoff. Attempt `n` (1-based) waits
+    /// `backoff * 2^(n-1)` after detection before the task restarts
+    /// elsewhere, so repeated failures of the same task back off
+    /// exponentially.
+    pub backoff: SimDuration,
+    /// Straggler mitigation: when `Some(k)`, a task whose attempt runs
+    /// longer than `k` times its cost-model estimate is re-executed
+    /// speculatively on the next-best surviving device, and the task
+    /// finishes with whichever attempt completes first.
+    pub straggler_factor: Option<f64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            detection_delay: SimDuration::ZERO,
+            backoff: SimDuration::ZERO,
+            straggler_factor: None,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Sets the retry budget.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the fault-detection delay.
+    pub fn with_detection_delay(mut self, d: SimDuration) -> Self {
+        self.detection_delay = d;
+        self
+    }
+
+    /// Sets the base relaunch backoff (doubled per attempt).
+    pub fn with_backoff(mut self, d: SimDuration) -> Self {
+        self.backoff = d;
+        self
+    }
+
+    /// Enables straggler re-execution at `k` times the estimate.
+    pub fn with_straggler_factor(mut self, k: f64) -> Self {
+        self.straggler_factor = Some(k);
+        self
+    }
+
+    /// The relaunch delay after the fault is detected, for 1-based
+    /// attempt `n`: `backoff * 2^(n-1)` (saturating).
+    pub fn backoff_for(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64.checked_shl(attempt.saturating_sub(1)).unwrap_or(u64::MAX);
+        SimDuration(self.backoff.0.saturating_mul(factor))
+    }
+}
 
 /// Configuration for a [`crate::Runtime`].
 ///
@@ -34,6 +104,8 @@ pub struct RuntimeConfig {
     pub observer: ObserverSlot,
     /// Injected faults for this run.
     pub faults: FaultInjector,
+    /// How mid-task faults are detected and retried.
+    pub recovery: RecoveryPolicy,
     /// Memory-aware admission control: when set, a submitted batch is
     /// split into waves so that each wave's *predicted* memory footprint
     /// stays below this fraction of the pool's free capacity. `None`
@@ -57,6 +129,7 @@ impl Default for RuntimeConfig {
             trace: false,
             observer: ObserverSlot::default(),
             faults: FaultInjector::default(),
+            recovery: RecoveryPolicy::default(),
             admission_watermark: None,
             persistent_replicas: 1,
         }
@@ -121,6 +194,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the failure-recovery policy.
+    pub fn with_recovery(mut self, r: RecoveryPolicy) -> Self {
+        self.recovery = r;
+        self
+    }
+
     /// Sets cost-model topology awareness.
     pub fn with_awareness(mut self, a: TopologyAwareness) -> Self {
         self.awareness = a;
@@ -169,5 +248,23 @@ mod tests {
         assert!(c.trace);
         assert_eq!(c.placement, PlacementPolicy::WorstFeasible);
         assert_eq!(c.sched, SchedPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn recovery_policy_backoff_is_exponential() {
+        let p = RecoveryPolicy::default()
+            .with_max_retries(5)
+            .with_detection_delay(SimDuration(100))
+            .with_backoff(SimDuration(1_000))
+            .with_straggler_factor(4.0);
+        assert_eq!(p.max_retries, 5);
+        assert_eq!(p.straggler_factor, Some(4.0));
+        assert_eq!(p.backoff_for(1), SimDuration(1_000));
+        assert_eq!(p.backoff_for(2), SimDuration(2_000));
+        assert_eq!(p.backoff_for(4), SimDuration(8_000));
+        // Zero backoff stays zero at any attempt.
+        assert_eq!(RecoveryPolicy::default().backoff_for(7), SimDuration::ZERO);
+        let c = RuntimeConfig::traced().with_recovery(p);
+        assert_eq!(c.recovery.max_retries, 5);
     }
 }

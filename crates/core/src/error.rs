@@ -48,6 +48,16 @@ pub enum DisaggError {
         /// The task.
         task: TaskId,
     },
+    /// A task kept being interrupted by faults until its
+    /// [`crate::RecoveryPolicy`] retry budget ran out.
+    RetriesExhausted {
+        /// The job.
+        job: JobId,
+        /// The task.
+        task: TaskId,
+        /// Attempts made (initial execution + retries).
+        attempts: u32,
+    },
     /// A task body returned an error.
     Task {
         /// The job.
@@ -108,6 +118,12 @@ impl std::fmt::Display for DisaggError {
             }
             DisaggError::NoComputeAvailable { job, task } => {
                 write!(f, "no live compute device for {job}/{task}")
+            }
+            DisaggError::RetriesExhausted { job, task, attempts } => {
+                write!(
+                    f,
+                    "{job}/{task} kept failing: retry budget exhausted after {attempts} attempts"
+                )
             }
             DisaggError::Task { job, task, name, error } => {
                 write!(f, "{job}/{task} ('{name}') failed: {error}")

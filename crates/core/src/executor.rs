@@ -38,14 +38,16 @@ use std::collections::{BinaryHeap, HashMap};
 
 use disagg_dataflow::ctx::{Placer, TaskCtx, TaskRegions};
 use disagg_dataflow::job::{JobId, JobSpec};
-use disagg_dataflow::task::TaskId;
+use disagg_dataflow::task::{TaskError, TaskId, TaskSpec};
 use disagg_hwsim::compute::WorkClass;
 use disagg_hwsim::contention::ResourceKey;
-use disagg_hwsim::ids::{ComputeId, MemDeviceId};
+use disagg_hwsim::device::{AccessOp, AccessPattern};
+use disagg_hwsim::fault::FaultKind;
+use disagg_hwsim::ids::{ComputeId, LinkId, MemDeviceId};
 use disagg_hwsim::time::{SimDuration, SimTime};
 use disagg_hwsim::topology::Topology;
 use disagg_hwsim::trace::TraceEvent;
-use disagg_region::access::Accessor;
+use disagg_region::access::{AccessStats, Accessor};
 use disagg_region::pool::{MemoryPool, RegionId};
 use disagg_region::props::PropertySet;
 use disagg_region::region::OwnerId;
@@ -81,6 +83,84 @@ impl Placer for EnginePlacer<'_> {
     ) -> Option<MemDeviceId> {
         self.engine.choose(topo, pool, compute, props, size)
     }
+}
+
+/// Runs the task body once on `compute`, starting at `at` plus the
+/// device's launch overhead. Returns the attempt's virtual finish time,
+/// its access statistics, and the body's result.
+fn run_body_once(
+    rt: &mut Runtime,
+    published: &mut HashMap<String, RegionId>,
+    tspec: &TaskSpec,
+    regions: TaskRegions,
+    compute: ComputeId,
+    who: OwnerId,
+    at: SimTime,
+) -> (SimTime, AccessStats, Result<(), TaskError>) {
+    let launch = SimDuration::from_nanos_f64(rt.topo.compute(compute).launch_overhead_ns);
+    let mut acc = Accessor::new(
+        &rt.topo,
+        &mut rt.ledger,
+        &mut rt.mgr,
+        &mut rt.trace,
+        compute,
+        who,
+        at + launch,
+    );
+    // Fault awareness costs a per-access schedule query, so the calm
+    // path skips it entirely and stays bit-for-bit identical.
+    if !rt.config.faults.is_empty() {
+        acc = acc.with_faults(&rt.config.faults);
+    }
+    let mut placer = EnginePlacer { engine: &mut rt.engine };
+    let mut ctx = TaskCtx::new(&mut acc, regions, &mut placer, published, &mut rt.app_published);
+    let result = (tspec.body)(&mut ctx);
+    (acc.now, acc.stats, result)
+}
+
+/// The first fault event in the closed attempt window `[from, to]`,
+/// past the progress cursor `after`, that interrupts an attempt running
+/// on `compute`: the node hosting it crashing, a device backing one of
+/// the task's fresh placements failing, or the bottleneck link to such
+/// a device going down. Returns the event's index in the schedule and
+/// its strike time; advancing the cursor past handled events keeps the
+/// retry loop making progress even under a zero-delay, zero-backoff
+/// policy.
+fn first_interrupt(
+    rt: &Runtime,
+    compute: ComputeId,
+    placements: &[(&'static str, RegionId, MemDeviceId)],
+    after: Option<usize>,
+    from: SimTime,
+    to: SimTime,
+) -> Option<(usize, SimTime)> {
+    let node = rt.topo.node_of_compute(compute);
+    let links: Vec<LinkId> = placements
+        .iter()
+        .filter_map(|&(_, _, dev)| {
+            rt.topo
+                .access_cost_parts(compute, dev, 1, AccessOp::Read, AccessPattern::Sequential)
+                .and_then(|p| p.bottleneck_link)
+        })
+        .collect();
+    for (i, e) in rt.config.faults.events().iter().enumerate() {
+        if e.at > to {
+            break;
+        }
+        if e.at < from || after.is_some_and(|h| i <= h) {
+            continue;
+        }
+        let hits = match e.kind {
+            FaultKind::NodeCrash(n) => n == node,
+            FaultKind::DeviceFail(d) => placements.iter().any(|&(_, _, pd)| pd == d),
+            FaultKind::LinkDown(l) => links.contains(&l),
+            _ => false,
+        };
+        if hits {
+            return Some((i, e.at));
+        }
+    }
+    None
 }
 
 /// What can happen at an instant of virtual time.
@@ -361,23 +441,19 @@ fn enqueue(
 ) -> Result<(), DisaggError> {
     let jid = w.job_ids[ji];
     let entry = *w.schedule.entry(jid, task).expect("every task is scheduled");
-    let tspec = &jobs[ji].tasks[task.index()];
 
-    // Fault-aware admission: fall back to any live eligible device if
-    // the assigned one's node is down at ready time.
+    // Fault-aware admission: fall back to the cheapest live eligible
+    // device if the assigned one's node is down at ready time.
     let mut compute = entry.compute;
     if rt
         .config
         .faults
         .node_down(rt.topo.node_of_compute(compute), at)
     {
-        compute = rt
-            .topo
-            .compute_ids()
-            .find(|&c| {
-                tspec.compute.allows(rt.topo.compute(c).kind)
-                    && !rt.config.faults.node_down(rt.topo.node_of_compute(c), at)
-            })
+        compute = Scheduler::ranked_candidates(&rt.topo, &jobs[ji], task)
+            .into_iter()
+            .map(|(c, _)| c)
+            .find(|&c| !rt.config.faults.node_down(rt.topo.node_of_compute(c), at))
             .ok_or(DisaggError::NoComputeAvailable { job: jid, task })?;
     }
 
@@ -590,7 +666,6 @@ fn run_task(
     }
 
     // --- Execute the body. ---
-    let launch = SimDuration::from_nanos_f64(rt.topo.compute(compute).launch_overhead_ns);
     rt.trace.push(TraceEvent::TaskStart {
         job: jid.0,
         task: task.0 as u64,
@@ -598,90 +673,128 @@ fn run_task(
         at: start,
     });
     let regions_snapshot = regions.clone();
-    let (finish, stats, body_result) = {
-        let mut acc = Accessor::new(
-            &rt.topo,
-            &mut rt.ledger,
-            &mut rt.mgr,
-            &mut rt.trace,
-            compute,
-            who,
-            start + launch,
-        );
-        let mut placer = EnginePlacer { engine: &mut rt.engine };
-        let mut ctx = TaskCtx::new(
-            &mut acc,
-            regions.clone(),
-            &mut placer,
-            &mut w.published[ji],
-            &mut rt.app_published,
-        );
-        let result = (tspec.body)(&mut ctx);
-        (acc.now, acc.stats, result)
-    };
+    let policy = rt.config.recovery;
+    let (mut finish, mut stats, mut body_result) =
+        run_body_once(rt, &mut w.published[ji], tspec, regions.clone(), compute, who, start);
 
-    // Mid-task crash recovery: if the node executing this task died
-    // while it ran, the attempt is lost. Task bodies are re-runnable
-    // (`Fn`), so re-place on a surviving device and execute again — the
-    // makespan pays for both attempts.
-    let (finish, stats, body_result) = {
-        let my_node = rt.topo.node_of_compute(compute);
-        let crashed_midway = rt
-            .config
-            .faults
-            .events_between(start, finish)
-            .iter()
-            .any(|e| {
-                matches!(e.kind,
-                    disagg_hwsim::fault::FaultKind::NodeCrash(n) if n == my_node)
+    // Mid-task fault recovery: if a fault interrupted the attempt while
+    // it ran — the executing node crashing, a backing device failing,
+    // the bottleneck link dropping — that attempt's work is lost. Task
+    // bodies are re-runnable (`Fn`), so after the virtual-time
+    // detection delay and the policy's exponential backoff the task is
+    // re-placed on the cheapest surviving candidate from the
+    // scheduler's cost ranking and executed again; the makespan pays
+    // for every attempt. The retry budget bounds how much work a
+    // flapping resource can waste before the run fails cleanly.
+    let mut attempt_start = start;
+    let mut retries: u32 = 0;
+    let mut handled = None;
+    if !rt.config.faults.is_empty() {
+        while body_result.is_ok() {
+            let Some((idx, fault_at)) =
+                first_interrupt(rt, compute, &placements, handled, attempt_start, finish)
+            else {
+                break;
+            };
+            handled = Some(idx);
+            retries += 1;
+            if retries > policy.max_retries {
+                return Err(DisaggError::RetriesExhausted {
+                    job: jid,
+                    task,
+                    attempts: retries,
+                });
+            }
+            let detect_at = fault_at + policy.detection_delay;
+            rt.trace.push(TraceEvent::FaultDetected {
+                job: jid.0,
+                task: task.0 as u64,
+                on: compute,
+                at: detect_at,
             });
-        if crashed_midway && body_result.is_ok() {
-            let crash_at = rt
-                .config
-                .faults
-                .first_node_crash(my_node)
-                .expect("crash detected above")
-                .max(start);
-            let replacement = rt
-                .topo
-                .compute_ids()
-                .find(|&c| {
-                    tspec.compute.allows(rt.topo.compute(c).kind)
-                        && !rt
-                            .config
-                            .faults
-                            .node_down(rt.topo.node_of_compute(c), crash_at)
-                })
+            let replacement = Scheduler::ranked_candidates(&rt.topo, spec, task)
+                .into_iter()
+                .map(|(c, _)| c)
+                .find(|&c| !rt.config.faults.node_down(rt.topo.node_of_compute(c), detect_at))
                 .ok_or(DisaggError::NoComputeAvailable { job: jid, task })?;
+            let relaunch_at = detect_at + policy.backoff_for(retries);
+            rt.trace.push(TraceEvent::TaskRetry {
+                job: jid.0,
+                task: task.0 as u64,
+                from: compute,
+                to: replacement,
+                attempt: u64::from(retries),
+                at: relaunch_at,
+                lost: detect_at - attempt_start,
+            });
             compute = replacement;
-            let relaunch =
-                SimDuration::from_nanos_f64(rt.topo.compute(compute).launch_overhead_ns);
-            let mut acc = Accessor::new(
-                &rt.topo,
-                &mut rt.ledger,
-                &mut rt.mgr,
-                &mut rt.trace,
+            attempt_start = relaunch_at;
+            let (f, s, r) = run_body_once(
+                rt,
+                &mut w.published[ji],
+                tspec,
+                regions.clone(),
                 compute,
                 who,
-                crash_at + relaunch,
+                attempt_start,
             );
-            let mut placer = EnginePlacer { engine: &mut rt.engine };
-            let mut ctx = TaskCtx::new(
-                &mut acc,
-                regions,
-                &mut placer,
-                &mut w.published[ji],
-                &mut rt.app_published,
-            );
-            let result = (tspec.body)(&mut ctx);
-            (acc.now, acc.stats, result)
-        } else {
-            (finish, stats, body_result)
+            finish = f;
+            stats = s;
+            body_result = r;
         }
-    };
+    }
+
+    // Straggler mitigation: when enabled, an attempt that overran `k`
+    // times its cost-model estimate gets a speculative twin on the
+    // next-best surviving device, and the task finishes with whichever
+    // attempt completes first (the loser's work is sunk cost).
+    if let Some(k) = policy.straggler_factor {
+        let allowance = SimDuration::from_nanos_f64(q.est.0 as f64 * k);
+        if body_result.is_ok()
+            && allowance > SimDuration::ZERO
+            && finish - attempt_start > allowance
+        {
+            let spawn_at = attempt_start + allowance;
+            let backup = Scheduler::ranked_candidates(&rt.topo, spec, task)
+                .into_iter()
+                .map(|(c, _)| c)
+                .find(|&c| {
+                    c != compute
+                        && !rt.config.faults.node_down(rt.topo.node_of_compute(c), spawn_at)
+                });
+            if let Some(backup) = backup {
+                retries += 1;
+                rt.trace.push(TraceEvent::TaskRetry {
+                    job: jid.0,
+                    task: task.0 as u64,
+                    from: compute,
+                    to: backup,
+                    attempt: u64::from(retries),
+                    at: spawn_at,
+                    lost: SimDuration::ZERO,
+                });
+                let (f, s, r) = run_body_once(
+                    rt,
+                    &mut w.published[ji],
+                    tspec,
+                    regions.clone(),
+                    backup,
+                    who,
+                    spawn_at,
+                );
+                if r.is_ok() && f < finish {
+                    compute = backup;
+                    finish = f;
+                    stats = s;
+                    body_result = r;
+                }
+            }
+        }
+    }
+
     if let Err(error) = body_result {
         // Record the denial if it was a confidentiality rejection.
-        if error.0.contains("confidential") {
+        if error.is_confidentiality_denial() {
             rt.auditor.record_denial(RegionId(u64::MAX), None, Some(jid.0));
         }
         return Err(DisaggError::Task {
@@ -694,7 +807,6 @@ fn run_task(
 
     // Confidential data leaving the trust boundary pays the encryption
     // toll on every written byte.
-    let mut finish = finish;
     if eff.confidential {
         let crypto_bytes: u64 = placements
             .iter()

@@ -45,7 +45,7 @@ pub mod profile;
 pub mod report;
 pub mod runtime;
 
-pub use config::RuntimeConfig;
+pub use config::{RecoveryPolicy, RuntimeConfig};
 pub use error::{DisaggError, RuntimeError};
 pub use profile::{RunProfile, TaskProfile};
 pub use report::{DeviceSummary, RunReport, TaskReport};
@@ -57,7 +57,7 @@ pub use disagg_obs as obs;
 
 /// Everything an application or experiment typically imports.
 pub mod prelude {
-    pub use crate::config::RuntimeConfig;
+    pub use crate::config::{RecoveryPolicy, RuntimeConfig};
     pub use crate::error::{DisaggError, RuntimeError};
     pub use crate::profile::{RunProfile, TaskProfile};
     pub use crate::report::{DeviceSummary, RunReport, TaskReport};

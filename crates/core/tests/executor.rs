@@ -320,14 +320,14 @@ fn confidential_region_cross_job_access_is_denied() {
     job1.task(TaskSpec::new("snoop").body(move |ctx| {
         let mut buf = [0u8; 16];
         match ctx.acc.read(secret, 0, &mut buf, AccessPattern::Random) {
-            Err(e) => Err(TaskError::new(format!("denied: {e}"))),
+            Err(e) => Err(TaskError::from(e)),
             Ok(_) => Ok(()),
         }
     }));
     let err = rt.submit(job1.build().unwrap()).unwrap_err();
     match err {
         RuntimeError::Task { error, .. } => {
-            assert!(error.0.contains("confidential"), "got: {}", error.0)
+            assert!(error.is_confidentiality_denial(), "got: {}", error.msg)
         }
         other => panic!("expected task failure, got {other}"),
     }
@@ -644,14 +644,14 @@ fn app_published_confidential_regions_stay_isolated() {
         let r = ctx.lookup("leaky").ok_or_else(|| TaskError::new("gone"))?;
         let mut buf = [0u8; 10];
         match ctx.async_read(r, 0, &mut buf) {
-            Err(e) => Err(TaskError::new(format!("denied: {e}"))),
+            Err(e) => Err(TaskError::from(e)),
             Ok(_) => Ok(()),
         }
     }));
     let err = rt.submit(snoop.build().unwrap()).unwrap_err();
     match err {
         RuntimeError::Task { error, .. } => {
-            assert!(error.0.contains("confidential"), "got: {}", error.0)
+            assert!(error.is_confidentiality_denial(), "got: {}", error.msg)
         }
         other => panic!("expected denial, got {other}"),
     }

@@ -375,7 +375,7 @@ mod tests {
         );
         let mut buf = [0u8; 1];
         let err = ctx.read_input(0, &mut buf).unwrap_err();
-        assert!(err.0.contains("input"));
+        assert!(err.msg.contains("input"));
         assert!(ctx.global_state().is_err());
         assert_eq!(ctx.input_len(), 0);
     }
@@ -424,7 +424,7 @@ mod tests {
         let err = ctx
             .alloc(RegionType::GlobalScratch, PropertySet::new(), 256)
             .unwrap_err();
-        assert!(err.0.contains("no device"));
+        assert!(err.msg.contains("no device"));
     }
 
     #[test]

@@ -123,20 +123,52 @@ impl Default for WorkProfile {
     }
 }
 
+/// Machine-readable classification of a task-body failure, so layers
+/// above (audit, recovery) can react to *what* failed without sniffing
+/// the message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskErrorKind {
+    /// An ordinary failure with no special runtime handling.
+    #[default]
+    Generic,
+    /// The body was denied access to a confidential region it does not
+    /// own; the runtime's auditor records these.
+    ConfidentialityDenied,
+}
+
 /// Errors returned by task bodies.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TaskError(pub String);
+pub struct TaskError {
+    /// Human-readable failure description.
+    pub msg: String,
+    /// What class of failure this is.
+    pub kind: TaskErrorKind,
+}
 
 impl TaskError {
-    /// Builds an error from anything printable.
+    /// Builds a generic error from anything printable.
     pub fn new(msg: impl Into<String>) -> Self {
-        TaskError(msg.into())
+        TaskError {
+            msg: msg.into(),
+            kind: TaskErrorKind::Generic,
+        }
+    }
+
+    /// Tags the error with a specific kind.
+    pub fn with_kind(mut self, kind: TaskErrorKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// True if this is a confidentiality denial.
+    pub fn is_confidentiality_denial(&self) -> bool {
+        self.kind == TaskErrorKind::ConfidentialityDenied
     }
 }
 
 impl std::fmt::Display for TaskError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task failed: {}", self.0)
+        write!(f, "task failed: {}", self.msg)
     }
 }
 
@@ -144,7 +176,16 @@ impl std::error::Error for TaskError {}
 
 impl From<disagg_region::RegionError> for TaskError {
     fn from(e: disagg_region::RegionError) -> Self {
-        TaskError(e.to_string())
+        let kind = match e {
+            disagg_region::RegionError::ConfidentialityViolation { .. } => {
+                TaskErrorKind::ConfidentialityDenied
+            }
+            _ => TaskErrorKind::Generic,
+        };
+        TaskError {
+            msg: e.to_string(),
+            kind,
+        }
     }
 }
 
@@ -336,6 +377,23 @@ mod tests {
     #[test]
     fn task_error_wraps_region_errors() {
         let e: TaskError = disagg_region::RegionError::SharedTransfer(disagg_region::RegionId(3)).into();
-        assert!(e.0.contains("r3"));
+        assert!(e.msg.contains("r3"));
+        assert_eq!(e.kind, TaskErrorKind::Generic);
+    }
+
+    #[test]
+    fn confidentiality_violations_carry_a_typed_kind() {
+        let e: TaskError = disagg_region::RegionError::ConfidentialityViolation {
+            region: disagg_region::RegionId(7),
+            owner_job: Some(1),
+            accessor_job: Some(2),
+        }
+        .into();
+        assert!(e.is_confidentiality_denial());
+        assert_eq!(e.kind, TaskErrorKind::ConfidentialityDenied);
+        // Re-wrapping with a custom message keeps the kind explicit.
+        let tagged = TaskError::new("custom").with_kind(TaskErrorKind::ConfidentialityDenied);
+        assert!(tagged.is_confidentiality_denial());
+        assert!(!TaskError::new("plain").is_confidentiality_denial());
     }
 }

@@ -126,8 +126,34 @@ impl ReplicatedRegion {
         Ok(slowest)
     }
 
-    /// Reads from the live replica nearest to `compute`.
-    /// Returns the duration and the replica index used.
+    /// True if replica `i`'s bytes for the window `[offset,
+    /// offset + len)` overlap a corrupted range on its device at `t` —
+    /// the replica is alive but its answer would fail the checksum.
+    fn tainted(
+        &self,
+        mgr: &RegionManager,
+        faults: &FaultInjector,
+        i: usize,
+        offset: u64,
+        len: u64,
+        t: SimTime,
+    ) -> bool {
+        let Ok(p) = mgr.placement(self.replicas[i]) else {
+            return false;
+        };
+        let lo = p.offset + offset;
+        let hi = lo + len;
+        faults
+            .corrupted_ranges(p.dev, t)
+            .iter()
+            .any(|&(o, l)| o < hi && lo < o + l)
+    }
+
+    /// Reads from the live replica nearest to `compute`, failing over
+    /// past replicas whose window is corrupted (when every live replica
+    /// is corrupted, the nearest one serves anyway and the caller's
+    /// checksum layer must repair). Returns the duration and the
+    /// replica index used.
     #[allow(clippy::too_many_arguments)]
     pub fn read(
         &self,
@@ -141,8 +167,14 @@ impl ReplicatedRegion {
         now: SimTime,
     ) -> Result<(SimDuration, usize), FtolError> {
         let alive = self.alive(topo, faults, now);
+        let clean: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|&i| !self.tainted(mgr, faults, i, offset, buf.len() as u64, now))
+            .collect();
+        let candidates = if clean.is_empty() { &alive } else { &clean };
         // Nearest = lowest path latency from the reader.
-        let best = alive
+        let best = candidates
             .iter()
             .copied()
             .filter_map(|i| topo.path(compute, self.devs[i]).map(|p| (i, p.latency_ns)))
@@ -308,6 +340,39 @@ mod tests {
             .unwrap();
         assert_ne!(used, used2);
         assert_eq!(buf, [9u8; 64]);
+    }
+
+    #[test]
+    fn corrupted_replica_fails_over_to_a_clean_one() {
+        let (topo, mut mgr, mut ledger, pool, cpus) = fixture();
+        let mut rr =
+            ReplicatedRegion::create(&mut mgr, &topo, &[pool[0], pool[1]], 4096, OWNER, SimTime::ZERO)
+                .unwrap();
+        let none = FaultInjector::none();
+        rr.write(&mut mgr, &topo, &mut ledger, &none, 0, &[3u8; 4096], SimTime::ZERO)
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let (_, nearest) = rr
+            .read(&mgr, &topo, &mut ledger, &none, cpus[0], 0, &mut buf, SimTime::ZERO)
+            .unwrap();
+
+        // Corrupt the read window on the nearest replica: the read must
+        // fail over to the clean one.
+        let p = mgr.placement(rr.replicas[nearest]).unwrap();
+        let faults = FaultInjector::with_events(vec![disagg_hwsim::fault::FaultEvent {
+            at: SimTime(10),
+            kind: FaultKind::Corrupt { dev: p.dev, offset: p.offset, len: 128 },
+        }]);
+        let (_, used) = rr
+            .read(&mgr, &topo, &mut ledger, &faults, cpus[0], 0, &mut buf, SimTime(100))
+            .unwrap();
+        assert_ne!(used, nearest, "corrupted window must not be served");
+        assert_eq!(buf, [3u8; 64]);
+        // A window outside the corruption still prefers the nearest.
+        let (_, used2) = rr
+            .read(&mgr, &topo, &mut ledger, &faults, cpus[0], 1024, &mut buf, SimTime(100))
+            .unwrap();
+        assert_eq!(used2, nearest);
     }
 
     #[test]

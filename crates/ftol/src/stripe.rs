@@ -149,6 +149,25 @@ impl StripedRegion {
             .collect()
     }
 
+    /// Span indices whose bytes overlap a corrupted range on their
+    /// device at `t`: the span is alive but its contents are suspect,
+    /// so reads must not trust it as a reconstruction source.
+    fn tainted(&self, mgr: &RegionManager, faults: &FaultInjector, t: SimTime) -> Vec<usize> {
+        if faults.is_empty() {
+            return Vec::new();
+        }
+        (0..self.spans.len())
+            .filter(|&i| {
+                mgr.placement(self.spans[i]).is_ok_and(|p| {
+                    faults
+                        .corrupted_ranges(p.dev, t)
+                        .iter()
+                        .any(|&(o, l)| o < p.offset + p.size && p.offset < o + l)
+                })
+            })
+            .collect()
+    }
+
     fn charge_span(
         &self,
         topo: &Topology,
@@ -224,10 +243,12 @@ impl StripedRegion {
     }
 
     /// Reads `buf.len()` bytes at logical `offset`. If every needed data
-    /// span is alive this is a plain parallel read; if any is lost, the
-    /// read degrades to reconstruction: fetch `k` surviving spans, decode,
-    /// and serve from the decoded data. Returns the duration and whether
-    /// the read was degraded.
+    /// span is alive and uncorrupted this is a plain parallel read; if
+    /// any is lost — its device failed, its node crashed, or its bytes
+    /// overlap a corrupted range — the read degrades to reconstruction:
+    /// fetch `k` trustworthy surviving spans, decode, and serve from the
+    /// decoded data. Returns the duration and whether the read was
+    /// degraded.
     #[allow(clippy::too_many_arguments)]
     pub fn read(
         &self,
@@ -247,7 +268,12 @@ impl StripedRegion {
                 size: self.size,
             });
         }
-        let alive = self.alive(topo, faults, now);
+        let tainted = self.tainted(mgr, faults, now);
+        let alive: Vec<usize> = self
+            .alive(topo, faults, now)
+            .into_iter()
+            .filter(|i| !tainted.contains(i))
+            .collect();
         let k = self.k();
         let needed: Vec<usize> = ((offset / self.span_size) as usize
             ..=((end - 1) / self.span_size) as usize)
@@ -457,6 +483,30 @@ mod tests {
             .read(&mgr, &topo, &mut ledger2, &none, 0, &mut buf, SimTime(10))
             .unwrap();
         assert!(took_degraded > took_ok);
+    }
+
+    #[test]
+    fn corrupted_span_triggers_degraded_decode() {
+        let (topo, mut mgr, mut ledger, pool) = fixture(4);
+        let mut sr =
+            StripedRegion::create(&mut mgr, &topo, &pool[..4], 3000, 3, 1, OWNER, SimTime::ZERO)
+                .unwrap();
+        let data = payload(3000);
+        sr.write(&mut mgr, &topo, &mut ledger, 0, &data, SimTime::ZERO)
+            .unwrap();
+        // Silent corruption inside data span 1: the span stays alive but
+        // cannot be trusted as a read or reconstruction source.
+        let p = mgr.placement(sr.spans[1]).unwrap();
+        let faults = FaultInjector::with_events(vec![FaultEvent {
+            at: SimTime(5),
+            kind: FaultKind::Corrupt { dev: p.dev, offset: p.offset + 10, len: 4 },
+        }]);
+        let mut buf = vec![0u8; 3000];
+        let (_, degraded) = sr
+            .read(&mgr, &topo, &mut ledger, &faults, 0, &mut buf, SimTime(10))
+            .unwrap();
+        assert!(degraded, "a corrupt span must not be read directly");
+        assert_eq!(buf, data, "decode restores the exact bytes");
     }
 
     #[test]

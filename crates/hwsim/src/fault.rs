@@ -18,10 +18,26 @@ pub enum FaultKind {
     /// A previously crashed node comes back (contents of volatile devices
     /// are lost; persistent devices retain data).
     NodeRecover(NodeId),
-    /// A single memory device fails permanently.
+    /// A single memory device fails (until a later [`FaultKind::DeviceRecover`]).
     DeviceFail(MemDeviceId),
-    /// A link goes down permanently.
+    /// A previously failed memory device is serviced and comes back
+    /// empty (contents were lost with the failure).
+    DeviceRecover(MemDeviceId),
+    /// A link goes down (until a later [`FaultKind::LinkUp`]).
     LinkDown(LinkId),
+    /// A previously down or degraded link returns to full health.
+    LinkUp(LinkId),
+    /// A link keeps carrying traffic but at a fraction of its nominal
+    /// bandwidth (flaky optics, a failed lane, congestion collapse)
+    /// until the next [`FaultKind::LinkUp`]. The factor is fixed-point
+    /// so fault schedules stay `Eq`/hashable.
+    LinkDegraded {
+        /// The affected link.
+        link: LinkId,
+        /// Remaining bandwidth in percent of nominal (e.g. 25 = quarter
+        /// speed). Clamped to at least 1% when queried.
+        factor_pct: u32,
+    },
     /// A range of bytes on a device is silently corrupted.
     Corrupt {
         /// The affected device.
@@ -71,10 +87,24 @@ impl FaultInjector {
         &self.events
     }
 
+    /// True if no faults are scheduled at all. The runtime uses this to
+    /// skip every per-access fault query on the (common) calm path.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
     /// Events in the half-open window `[from, to)`.
     pub fn events_between(&self, from: SimTime, to: SimTime) -> &[FaultEvent] {
         let lo = self.events.partition_point(|e| e.at < from);
         let hi = self.events.partition_point(|e| e.at < to);
+        &self.events[lo..hi]
+    }
+
+    /// Events in the closed window `[from, to]` — what a task that ran
+    /// from `from` to `to` could have been interrupted by.
+    pub fn events_in_window(&self, from: SimTime, to: SimTime) -> &[FaultEvent] {
+        let lo = self.events.partition_point(|e| e.at < from);
+        let hi = self.events.partition_point(|e| e.at <= to);
         &self.events[lo..hi]
     }
 
@@ -95,20 +125,59 @@ impl FaultInjector {
         down
     }
 
-    /// True if `dev` has failed at or before `t`.
+    /// True if `dev` is failed at time `t` (failed without a later
+    /// recovery at or before `t`).
     pub fn device_failed(&self, dev: MemDeviceId, t: SimTime) -> bool {
-        self.events
-            .iter()
-            .take_while(|e| e.at <= t)
-            .any(|e| matches!(e.kind, FaultKind::DeviceFail(d) if d == dev))
+        let mut failed = false;
+        for e in &self.events {
+            if e.at > t {
+                break;
+            }
+            match e.kind {
+                FaultKind::DeviceFail(d) if d == dev => failed = true,
+                FaultKind::DeviceRecover(d) if d == dev => failed = false,
+                _ => {}
+            }
+        }
+        failed
     }
 
-    /// True if `link` is down at or before `t`.
+    /// True if `link` is down at time `t` (down without a later
+    /// [`FaultKind::LinkUp`] at or before `t`).
     pub fn link_down(&self, link: LinkId, t: SimTime) -> bool {
-        self.events
-            .iter()
-            .take_while(|e| e.at <= t)
-            .any(|e| matches!(e.kind, FaultKind::LinkDown(l) if l == link))
+        let mut down = false;
+        for e in &self.events {
+            if e.at > t {
+                break;
+            }
+            match e.kind {
+                FaultKind::LinkDown(l) if l == link => down = true,
+                FaultKind::LinkUp(l) if l == link => down = false,
+                _ => {}
+            }
+        }
+        down
+    }
+
+    /// The bandwidth multiplier in effect on `link` at time `t`: 1.0
+    /// when healthy, `factor_pct / 100` while degraded. A
+    /// [`FaultKind::LinkUp`] restores full bandwidth. Going down and
+    /// back up also clears any degradation.
+    pub fn link_degradation(&self, link: LinkId, t: SimTime) -> f64 {
+        let mut factor = 1.0f64;
+        for e in &self.events {
+            if e.at > t {
+                break;
+            }
+            match e.kind {
+                FaultKind::LinkDegraded { link: l, factor_pct } if l == link => {
+                    factor = f64::from(factor_pct.clamp(1, 100)) / 100.0;
+                }
+                FaultKind::LinkUp(l) if l == link => factor = 1.0,
+                _ => {}
+            }
+        }
+        factor
     }
 
     /// Returns the corrupted byte ranges on `dev` visible at time `t`.
@@ -222,6 +291,82 @@ mod tests {
         assert_eq!(inj.corrupted_ranges(MemDeviceId(0), SimTime(15)).len(), 1);
         assert_eq!(inj.corrupted_ranges(MemDeviceId(0), SimTime(25)).len(), 2);
         assert!(inj.corrupted_ranges(MemDeviceId(1), SimTime(25)).is_empty());
+    }
+
+    #[test]
+    fn device_recovery_clears_a_failure() {
+        let inj = FaultInjector::with_events(vec![
+            FaultEvent {
+                at: SimTime(100),
+                kind: FaultKind::DeviceFail(MemDeviceId(2)),
+            },
+            FaultEvent {
+                at: SimTime(400),
+                kind: FaultKind::DeviceRecover(MemDeviceId(2)),
+            },
+        ]);
+        assert!(!inj.device_failed(MemDeviceId(2), SimTime(99)));
+        assert!(inj.device_failed(MemDeviceId(2), SimTime(100)));
+        assert!(inj.device_failed(MemDeviceId(2), SimTime(399)));
+        assert!(!inj.device_failed(MemDeviceId(2), SimTime(400)));
+        assert!(!inj.device_failed(MemDeviceId(3), SimTime(200)));
+    }
+
+    #[test]
+    fn link_up_clears_down_and_degradation() {
+        let inj = FaultInjector::with_events(vec![
+            FaultEvent {
+                at: SimTime(10),
+                kind: FaultKind::LinkDown(LinkId(5)),
+            },
+            FaultEvent {
+                at: SimTime(20),
+                kind: FaultKind::LinkUp(LinkId(5)),
+            },
+            FaultEvent {
+                at: SimTime(30),
+                kind: FaultKind::LinkDegraded { link: LinkId(5), factor_pct: 25 },
+            },
+            FaultEvent {
+                at: SimTime(40),
+                kind: FaultKind::LinkUp(LinkId(5)),
+            },
+        ]);
+        assert!(inj.link_down(LinkId(5), SimTime(15)));
+        assert!(!inj.link_down(LinkId(5), SimTime(20)));
+        assert_eq!(inj.link_degradation(LinkId(5), SimTime(25)), 1.0);
+        assert_eq!(inj.link_degradation(LinkId(5), SimTime(35)), 0.25);
+        assert_eq!(inj.link_degradation(LinkId(5), SimTime(40)), 1.0);
+        assert_eq!(inj.link_degradation(LinkId(6), SimTime(35)), 1.0);
+    }
+
+    #[test]
+    fn degradation_factor_is_clamped_to_a_sane_range() {
+        let inj = FaultInjector::with_events(vec![FaultEvent {
+            at: SimTime(0),
+            kind: FaultKind::LinkDegraded { link: LinkId(0), factor_pct: 0 },
+        }]);
+        assert_eq!(inj.link_degradation(LinkId(0), SimTime(1)), 0.01);
+    }
+
+    #[test]
+    fn window_queries_and_emptiness() {
+        assert!(FaultInjector::none().is_empty());
+        let inj = FaultInjector::with_events(vec![
+            FaultEvent {
+                at: SimTime(100),
+                kind: FaultKind::LinkDown(LinkId(0)),
+            },
+            FaultEvent {
+                at: SimTime(200),
+                kind: FaultKind::LinkUp(LinkId(0)),
+            },
+        ]);
+        assert!(!inj.is_empty());
+        // Closed window includes both endpoints, unlike events_between.
+        assert_eq!(inj.events_in_window(SimTime(100), SimTime(200)).len(), 2);
+        assert_eq!(inj.events_between(SimTime(100), SimTime(200)).len(), 1);
+        assert_eq!(inj.events_in_window(SimTime(101), SimTime(199)).len(), 0);
     }
 
     #[test]

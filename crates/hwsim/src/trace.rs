@@ -126,6 +126,52 @@ pub enum TraceEvent {
         /// Time spent waiting in the ready queue.
         waited: SimDuration,
     },
+    /// The recovery layer noticed a fault that interrupted a running
+    /// task (emitted at detection time, i.e. fault time + detection
+    /// delay — not at the instant the fault struck).
+    FaultDetected {
+        /// Job identifier.
+        job: u64,
+        /// Task index within the job.
+        task: u64,
+        /// The device the interrupted attempt was running on.
+        on: ComputeId,
+        /// Detection time.
+        at: SimTime,
+    },
+    /// A task attempt was abandoned and the task re-placed elsewhere
+    /// (crash retry or straggler speculation).
+    TaskRetry {
+        /// Job identifier.
+        job: u64,
+        /// Task index within the job.
+        task: u64,
+        /// Device of the abandoned attempt.
+        from: ComputeId,
+        /// Device of the new attempt.
+        to: ComputeId,
+        /// Retry number (1 = first retry).
+        attempt: u64,
+        /// When the new attempt was launched.
+        at: SimTime,
+        /// Virtual time burned on the abandoned attempt (including
+        /// detection delay and backoff).
+        lost: SimDuration,
+    },
+    /// Lost or corrupted region bytes were transparently rebuilt from
+    /// redundancy (replica copy or Reed-Solomon decode).
+    Reconstruct {
+        /// Region identifier.
+        region: u64,
+        /// Device the reconstructed bytes were served from / written to.
+        dev: MemDeviceId,
+        /// Bytes reconstructed.
+        bytes: u64,
+        /// When reconstruction started.
+        at: SimTime,
+        /// Simulated transfer + decode cost.
+        took: SimDuration,
+    },
 }
 
 impl TraceEvent {
@@ -140,7 +186,10 @@ impl TraceEvent {
             | TraceEvent::TaskStart { at, .. }
             | TraceEvent::TaskFinish { at, .. }
             | TraceEvent::TaskQueued { at, .. }
-            | TraceEvent::TaskDispatch { at, .. } => at,
+            | TraceEvent::TaskDispatch { at, .. }
+            | TraceEvent::FaultDetected { at, .. }
+            | TraceEvent::TaskRetry { at, .. }
+            | TraceEvent::Reconstruct { at, .. } => at,
         }
     }
 }
@@ -334,6 +383,26 @@ impl Trace {
                         on.0
                     )
                 }
+                TraceEvent::FaultDetected { job, task, on, at } => {
+                    format!("fault_detected,{},,,{},,,{job},{task},,,", at.as_nanos(), on.0)
+                }
+                TraceEvent::TaskRetry { job, task, from, to, attempt, at, lost } => {
+                    format!(
+                        "task_retry,{},{},,{},{},,{job},{task},,,attempt{attempt}",
+                        at.as_nanos(),
+                        lost.as_nanos(),
+                        from.0,
+                        to.0
+                    )
+                }
+                TraceEvent::Reconstruct { region, dev, bytes, at, took } => {
+                    format!(
+                        "reconstruct,{},{},{region},{},,{bytes},,,,,",
+                        at.as_nanos(),
+                        took.as_nanos(),
+                        dev.0
+                    )
+                }
             };
             out.push_str(&line);
             out.push('\n');
@@ -459,11 +528,28 @@ mod tests {
             waited: SimDuration(1),
         });
         t.push(TraceEvent::TaskStart { job: 0, task: 1, on: ComputeId(0), at: SimTime(4) });
+        t.push(TraceEvent::FaultDetected { job: 0, task: 1, on: ComputeId(0), at: SimTime(4) });
+        t.push(TraceEvent::TaskRetry {
+            job: 0,
+            task: 1,
+            from: ComputeId(0),
+            to: ComputeId(1),
+            attempt: 1,
+            at: SimTime(5),
+            lost: SimDuration(2),
+        });
+        t.push(TraceEvent::Reconstruct {
+            region: 1,
+            dev: MemDeviceId(1),
+            bytes: 64,
+            at: SimTime(5),
+            took: SimDuration(7),
+        });
         t.push(TraceEvent::TaskFinish { job: 0, task: 1, on: ComputeId(0), at: SimTime(5) });
         t.push(TraceEvent::Free { region: 1, dev: MemDeviceId(1), bytes: 64, at: SimTime(6) });
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 10, "header + 9 events");
+        assert_eq!(lines.len(), 13, "header + 12 events");
         assert!(lines[0].starts_with("kind,at_ns"));
         for kind in [
             "alloc",
@@ -473,6 +559,9 @@ mod tests {
             "task_queued",
             "task_dispatch",
             "task_start",
+            "fault_detected",
+            "task_retry",
+            "reconstruct",
             "task_finish",
             "free",
         ] {

@@ -197,6 +197,41 @@ pub fn chrome_trace(events: &[TraceEvent], topo: &Topology) -> String {
                     ),
                 );
             }
+            TraceEvent::FaultDetected { job, task, on, at } => {
+                instant(
+                    &mut s,
+                    PID_COMPUTE,
+                    on.0,
+                    "fault-detected",
+                    at.as_nanos(),
+                    &format!("\"job\":{job},\"task\":{task}"),
+                );
+            }
+            TraceEvent::TaskRetry { job, task, from, to, attempt, at, lost } => {
+                instant(
+                    &mut s,
+                    PID_COMPUTE,
+                    to.0,
+                    "task-retry",
+                    at.as_nanos(),
+                    &format!(
+                        "\"job\":{job},\"task\":{task},\"from\":{},\"attempt\":{attempt},\"lost_ns\":{}",
+                        from.0,
+                        lost.as_nanos()
+                    ),
+                );
+            }
+            TraceEvent::Reconstruct { region, dev, bytes, at, took } => {
+                span(
+                    &mut s,
+                    PID_MEM,
+                    dev.0,
+                    "reconstruct",
+                    at.as_nanos(),
+                    took.as_nanos(),
+                    &format!("\"region\":{region},\"bytes\":{bytes}"),
+                );
+            }
             TraceEvent::TaskFinish { .. } | TraceEvent::TaskQueued { .. } => {}
         }
         if !s.is_empty() {

@@ -220,6 +220,22 @@ impl MetricsRegistry {
                 self.incr(&format!("dev.cpu{}.tasks", on.0), 1);
             }
             TraceEvent::TaskFinish { .. } => self.incr("events.task_finish", 1),
+            TraceEvent::FaultDetected { on, .. } => {
+                self.incr("events.fault_detected", 1);
+                self.incr("faults.detected", 1);
+                self.incr(&format!("dev.cpu{}.faults", on.0), 1);
+            }
+            TraceEvent::TaskRetry { lost, .. } => {
+                self.incr("events.task_retry", 1);
+                self.incr("recovery.retries", 1);
+                self.observe("recovery_lost_ns", lost.as_nanos());
+            }
+            TraceEvent::Reconstruct { bytes, took, .. } => {
+                self.incr("events.reconstruct", 1);
+                self.incr("recovery.reconstructs", 1);
+                self.incr("bytes.reconstructed", bytes);
+                self.observe("reconstruct_ns", took.as_nanos());
+            }
         }
     }
 

@@ -20,6 +20,7 @@
 use disagg_hwsim::compute::WorkClass;
 use disagg_hwsim::contention::{BandwidthLedger, ResourceKey};
 use disagg_hwsim::device::{AccessOp, AccessPattern};
+use disagg_hwsim::fault::FaultInjector;
 use disagg_hwsim::ids::ComputeId;
 use disagg_hwsim::time::{SimDuration, SimTime};
 use disagg_hwsim::topology::Topology;
@@ -45,6 +46,14 @@ pub struct AccessStats {
     pub async_stall: SimDuration,
     /// Pure compute time charged.
     pub compute_time: SimDuration,
+    /// Bytes served through transparent reconstruction after a checksum
+    /// caught corrupted data under a read.
+    pub bytes_reconstructed: u64,
+    /// Time spent re-fetching and decoding reconstructed data.
+    pub reconstruct_stall: SimDuration,
+    /// Time spent in accesses whose bottleneck link was running below
+    /// nominal bandwidth (a `LinkDegraded` fault window).
+    pub degraded_time: SimDuration,
 }
 
 /// Software cost of issuing one asynchronous operation (submission +
@@ -80,6 +89,9 @@ pub struct Accessor<'a> {
     pub stats: AccessStats,
     pending: Vec<PendingOp>,
     async_compute: SimDuration,
+    /// The run's fault schedule, when one is active. `None` (the
+    /// default) keeps the calm path free of per-access fault queries.
+    faults: Option<&'a FaultInjector>,
 }
 
 impl<'a> Accessor<'a> {
@@ -105,7 +117,18 @@ impl<'a> Accessor<'a> {
             stats: AccessStats::default(),
             pending: Vec::new(),
             async_compute: SimDuration::ZERO,
+            faults: None,
         }
+    }
+
+    /// Makes accesses fault-aware: reads verify checksums against the
+    /// injector's `Corrupt` ranges (reconstructing transparently on a
+    /// hit) and transfers over degraded links run at the degraded
+    /// bandwidth. Callers should only attach a non-empty injector — an
+    /// empty one adds queries for nothing.
+    pub fn with_faults(mut self, faults: &'a FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The region manager (for allocation through a task context).
@@ -121,6 +144,16 @@ impl<'a> Accessor<'a> {
     /// The topology.
     pub fn topology(&self) -> &Topology {
         self.topo
+    }
+
+    /// The bandwidth multiplier of the access path's bottleneck link at
+    /// `self.now` (1.0 when no injector is attached or the link is
+    /// healthy).
+    fn link_factor(&self, link: Option<disagg_hwsim::ids::LinkId>) -> f64 {
+        match (self.faults, link) {
+            (Some(f), Some(l)) => f.link_degradation(l, self.now),
+            _ => 1.0,
+        }
     }
 
     fn charge(
@@ -144,17 +177,22 @@ impl<'a> Accessor<'a> {
         );
         // A narrow interconnect contends independently of the device: two
         // streams to different devices behind the same uplink still share
-        // the uplink.
+        // the uplink. A degraded link carries traffic at a fraction of
+        // its nominal bandwidth until it heals.
+        let factor = self.link_factor(parts.bottleneck_link);
         if let Some(link) = parts.bottleneck_link {
             let link_finish = self.ledger.reserve(
                 ResourceKey::Link(link),
                 transfer_start,
                 parts.eff_bytes as f64,
-                parts.link_bandwidth_bpns,
+                parts.link_bandwidth_bpns * factor,
             );
             finish = finish.max(link_finish);
         }
         let took = finish - self.now;
+        if factor < 1.0 {
+            self.stats.degraded_time += took;
+        }
         self.trace.push(TraceEvent::Access {
             region: region.0,
             dev,
@@ -166,8 +204,70 @@ impl<'a> Accessor<'a> {
         Ok(took)
     }
 
+    /// Bytes of `[offset, offset+len)` within `region` that overlap a
+    /// corrupted device range at `self.now` (0 without an injector).
+    fn corrupt_overlap(&self, region: RegionId, offset: u64, len: u64) -> u64 {
+        let Some(faults) = self.faults else { return 0 };
+        let Ok(placement) = self.mgr.placement(region) else { return 0 };
+        let lo = placement.offset + offset;
+        let hi = lo + len;
+        faults
+            .corrupted_ranges(placement.dev, self.now)
+            .iter()
+            .map(|&(c_off, c_len)| {
+                let c_hi = c_off + c_len;
+                c_hi.min(hi).saturating_sub(c_off.max(lo))
+            })
+            .sum()
+    }
+
+    /// GF(2⁸)-style decode arithmetic charged per reconstructed byte
+    /// (matches the ftol crate's host parity engine).
+    const RECONSTRUCT_DECODE_NS_PER_BYTE: f64 = 0.5;
+
+    /// Pays for serving `bytes` of a read from redundancy after a
+    /// checksum mismatch: a second fetch of the granule plus decode
+    /// arithmetic, recorded as a [`TraceEvent::Reconstruct`].
+    fn reconstruct(&mut self, region: RegionId, bytes: u64) -> Result<SimDuration, RegionError> {
+        let dev = self.mgr.placement(region)?.dev;
+        let parts = self
+            .topo
+            .access_cost_parts(self.compute, dev, bytes, AccessOp::Read, AccessPattern::Sequential)
+            .expect("placement guaranteed reachable by the runtime");
+        let transfer_start = self.now + SimDuration::from_nanos_f64(parts.latency_ns);
+        let mut finish = self.ledger.reserve(
+            ResourceKey::Mem(dev),
+            transfer_start,
+            parts.eff_bytes as f64,
+            parts.bandwidth_bpns,
+        );
+        if let Some(link) = parts.bottleneck_link {
+            let link_finish = self.ledger.reserve(
+                ResourceKey::Link(link),
+                transfer_start,
+                parts.eff_bytes as f64,
+                parts.link_bandwidth_bpns * self.link_factor(parts.bottleneck_link),
+            );
+            finish = finish.max(link_finish);
+        }
+        let decode =
+            SimDuration::from_nanos_f64(bytes as f64 * Self::RECONSTRUCT_DECODE_NS_PER_BYTE);
+        let took = (finish - self.now) + decode;
+        self.trace.push(TraceEvent::Reconstruct {
+            region: region.0,
+            dev,
+            bytes,
+            at: self.now,
+            took,
+        });
+        Ok(took)
+    }
+
     /// Synchronously reads into `buf`, stalling the task for the full
-    /// access cost.
+    /// access cost. With a fault injector attached, the read verifies
+    /// checksums against the injector's `Corrupt` ranges; on a mismatch
+    /// the damaged bytes are transparently served from redundancy,
+    /// paying a second fetch plus decode time.
     pub fn read(
         &mut self,
         region: RegionId,
@@ -176,7 +276,14 @@ impl<'a> Accessor<'a> {
         pattern: AccessPattern,
     ) -> Result<SimDuration, RegionError> {
         self.mgr.read(region, self.who, offset, buf)?;
-        let took = self.charge(region, buf.len() as u64, AccessOp::Read, pattern)?;
+        let mut took = self.charge(region, buf.len() as u64, AccessOp::Read, pattern)?;
+        let corrupt = self.corrupt_overlap(region, offset, buf.len() as u64);
+        if corrupt > 0 {
+            let repair = self.reconstruct(region, corrupt)?;
+            self.stats.bytes_reconstructed += corrupt;
+            self.stats.reconstruct_stall += repair;
+            took += repair;
+        }
         self.now += took;
         self.stats.bytes_read += buf.len() as u64;
         self.stats.sync_ops += 1;
@@ -254,14 +361,18 @@ impl<'a> Accessor<'a> {
             parts.eff_bytes as f64,
             parts.bandwidth_bpns,
         );
+        let factor = self.link_factor(parts.bottleneck_link);
         if let Some(link) = parts.bottleneck_link {
             let link_done = self.ledger.reserve(
                 ResourceKey::Link(link),
                 self.now,
                 parts.eff_bytes as f64,
-                parts.link_bandwidth_bpns,
+                parts.link_bandwidth_bpns * factor,
             );
             device_done = device_done.max(link_done);
+        }
+        if factor < 1.0 {
+            self.stats.degraded_time += device_done - self.now;
         }
         let latency = SimDuration::from_nanos_f64(parts.latency_ns);
         self.trace.push(TraceEvent::Access {
@@ -491,6 +602,110 @@ mod tests {
         }
         assert_eq!(trace.count(|e| matches!(e, TraceEvent::Access { .. })), 2);
         assert_eq!(trace.bytes_moved(), 1024);
+    }
+
+    #[test]
+    fn corrupt_range_under_a_read_is_reconstructed_with_extra_cost() {
+        use disagg_hwsim::fault::{FaultEvent, FaultKind};
+        let (topo, ids, mut mgr, mut ledger, mut trace) = fixture();
+        let r = mgr
+            .alloc(ids.far, 1 << 20, RegionType::GlobalScratch, PropertySet::new(), WHO, SimTime::ZERO)
+            .unwrap();
+        let placement = mgr.placement(r).unwrap();
+        let faults = FaultInjector::with_events(vec![FaultEvent {
+            at: SimTime(0),
+            kind: FaultKind::Corrupt {
+                dev: placement.dev,
+                offset: placement.offset + 100,
+                len: 50,
+            },
+        }]);
+        let mut buf = [0u8; 4096];
+
+        // Clean baseline on its own ledger.
+        let mut ledger2 = BandwidthLedger::default_buckets();
+        let mut trace2 = Trace::enabled();
+        let clean = Accessor::new(
+            &topo, &mut ledger2, &mut mgr, &mut trace2, ids.cpu, WHO, SimTime::ZERO,
+        )
+        .read(r, 0, &mut buf, AccessPattern::Sequential)
+        .unwrap();
+
+        let mut acc = Accessor::new(
+            &topo, &mut ledger, &mut mgr, &mut trace, ids.cpu, WHO, SimTime::ZERO,
+        )
+        .with_faults(&faults);
+        let took = acc.read(r, 0, &mut buf, AccessPattern::Sequential).unwrap();
+        assert!(took > clean, "reconstruction must cost extra: {took} vs {clean}");
+        assert_eq!(acc.stats.bytes_reconstructed, 50);
+        assert!(acc.stats.reconstruct_stall > SimDuration::ZERO);
+        assert_eq!(trace.count(|e| matches!(e, TraceEvent::Reconstruct { .. })), 1);
+
+        // A read outside the corrupted range pays nothing extra.
+        let mut acc2 = Accessor::new(
+            &topo, &mut ledger, &mut mgr, &mut trace, ids.cpu, WHO, SimTime::ZERO,
+        )
+        .with_faults(&faults);
+        acc2.read(r, 4096, &mut buf, AccessPattern::Sequential).unwrap();
+        assert_eq!(acc2.stats.bytes_reconstructed, 0);
+    }
+
+    #[test]
+    fn degraded_link_slows_transfers_until_it_heals() {
+        use disagg_hwsim::fault::{FaultEvent, FaultKind};
+        let (topo, ids, mut mgr, _ledger, mut trace) = fixture();
+        let r = mgr
+            .alloc(ids.far, 64 << 20, RegionType::GlobalScratch, PropertySet::new(), WHO, SimTime::ZERO)
+            .unwrap();
+        let placement = mgr.placement(r).unwrap();
+        let link = topo
+            .access_cost_parts(
+                ids.cpu,
+                placement.dev,
+                1 << 20,
+                AccessOp::Read,
+                AccessPattern::Sequential,
+            )
+            .unwrap()
+            .bottleneck_link
+            .expect("far memory sits behind an interconnect");
+        let faults = FaultInjector::with_events(vec![
+            FaultEvent {
+                at: SimTime(0),
+                kind: FaultKind::LinkDegraded { link, factor_pct: 10 },
+            },
+            FaultEvent {
+                at: SimTime(1_000_000_000),
+                kind: FaultKind::LinkUp(link),
+            },
+        ]);
+        let mut buf = vec![0u8; 16 << 20];
+
+        let mut l1 = BandwidthLedger::default_buckets();
+        let clean = Accessor::new(&topo, &mut l1, &mut mgr, &mut trace, ids.cpu, WHO, SimTime::ZERO)
+            .read(r, 0, &mut buf, AccessPattern::Sequential)
+            .unwrap();
+
+        let mut l2 = BandwidthLedger::default_buckets();
+        let mut degraded_acc =
+            Accessor::new(&topo, &mut l2, &mut mgr, &mut trace, ids.cpu, WHO, SimTime::ZERO)
+                .with_faults(&faults);
+        let degraded = degraded_acc.read(r, 0, &mut buf, AccessPattern::Sequential).unwrap();
+        assert!(
+            degraded.as_nanos() > clean.as_nanos() * 3,
+            "10% bandwidth should stretch the transfer: {clean} healthy vs {degraded} degraded"
+        );
+        assert_eq!(degraded_acc.stats.degraded_time, degraded);
+
+        // After LinkUp the same read costs the healthy price again.
+        let mut l3 = BandwidthLedger::default_buckets();
+        let healed_at = SimTime(1_000_000_000);
+        let mut healed_acc =
+            Accessor::new(&topo, &mut l3, &mut mgr, &mut trace, ids.cpu, WHO, healed_at)
+                .with_faults(&faults);
+        let healed = healed_acc.read(r, 0, &mut buf, AccessPattern::Sequential).unwrap();
+        assert_eq!(healed, clean);
+        assert_eq!(healed_acc.stats.degraded_time, SimDuration::ZERO);
     }
 
     #[test]

@@ -245,6 +245,25 @@ impl Scheduler {
         }
     }
 
+    /// Eligible devices for a task, ranked cheapest-first by the same
+    /// cost model `plan` uses (estimated duration, ties broken by
+    /// device id). The recovery layer re-places interrupted tasks with
+    /// this: instead of grabbing the first surviving device, it walks
+    /// the ranking and takes the best candidate that is still alive.
+    pub fn ranked_candidates(
+        topo: &Topology,
+        spec: &JobSpec,
+        task: TaskId,
+    ) -> Vec<(ComputeId, f64)> {
+        let mut ranked: Vec<(ComputeId, f64)> =
+            Self::eligible(topo, spec.tasks[task.index()].compute)
+                .into_iter()
+                .map(|c| (c, Self::estimate(topo, spec, task, c)))
+                .collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+
     /// Plans a schedule for the given jobs.
     pub fn plan(
         &self,
@@ -594,6 +613,20 @@ mod tests {
         assert_eq!(sched.entries.len(), 6);
         assert!(sched.assignment(JobId(1), TaskId(2)).is_some());
         assert!(sched.est_makespan() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ranked_candidates_orders_by_cost_model() {
+        let (topo, ids) = single_server();
+        let mut job = JobBuilder::new("rank");
+        job.task(TaskSpec::new("train").work(WorkClass::Tensor, 100_000_000));
+        let spec = job.build().unwrap();
+        let ranked = Scheduler::ranked_candidates(&topo, &spec, TaskId(0));
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked[0].0, ids.gpu, "tensor work ranks the GPU first");
+        for w in ranked.windows(2) {
+            assert!(w[0].1 <= w[1].1, "cheapest-first order");
+        }
     }
 
     #[test]
