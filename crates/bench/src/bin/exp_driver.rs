@@ -13,6 +13,13 @@
 //!   --json PATH      where to write the benchmark record
 //!                    (default BENCH_disagg.json; --no-json disables)
 //!   --no-thru        skip the throughput measurement
+//!   --thru-only      skip the experiment suite and chaos record; only
+//!                    measure throughput (what scripts/bench_guard.sh
+//!                    runs)
+//!   --shards N       drive the throughput stress runs on N event-loop
+//!                    shards (default 1; results are bit-for-bit
+//!                    shard-invariant, so only wall-clock moves)
+//!   --no-scaling     skip the shard-scaling sweep
 //!   --verify         additionally run serially and fail (exit 1) if
 //!                    parallel output is not byte-identical
 //!   --trace-out DIR  re-run each experiment's representative workload
@@ -41,6 +48,9 @@ fn main() {
     let verify = flag("--verify");
     let no_json = flag("--no-json");
     let no_thru = flag("--no-thru");
+    let thru_only = flag("--thru-only");
+    let no_scaling = flag("--no-scaling");
+    let shards: usize = value("--shards").and_then(|v| v.parse().ok()).unwrap_or(1);
     let json_path = value("--json").unwrap_or_else(|| "BENCH_disagg.json".to_string());
     let threads = if flag("--serial") {
         1
@@ -58,8 +68,12 @@ fn main() {
         .unwrap_or_default();
 
     let t0 = std::time::Instant::now();
-    let results = driver::run_experiments(&only, quick, threads);
-    if results.is_empty() && !only.is_empty() {
+    let results = if thru_only {
+        Vec::new()
+    } else {
+        driver::run_experiments(&only, quick, threads)
+    };
+    if !thru_only && results.is_empty() && !only.is_empty() {
         eprintln!("no experiment matches --only {}", only.join(","));
         std::process::exit(2);
     }
@@ -141,17 +155,18 @@ fn main() {
         }
     }
 
+    let reps = if quick { 1 } else { 3 };
     let throughputs: Vec<driver::Throughput> = if no_thru {
         Vec::new()
     } else {
-        let reps = if quick { 1 } else { 3 };
         driver::throughput_suite(quick)
             .into_iter()
             .map(|(j, l, w)| {
-                let t = driver::measure_throughput(j, l, w, reps);
+                let t = driver::measure_throughput(j, l, w, reps, shards);
                 eprintln!(
-                    "throughput {}: {} tasks, {} events, {:.4}s → {:.0} events/sec ({:.0} tasks/sec)",
+                    "throughput {} ({} shard(s)): {} tasks, {} events, {:.4}s → {:.0} events/sec ({:.0} tasks/sec)",
                     t.name,
+                    shards,
                     t.tasks,
                     t.events,
                     t.wall.as_secs_f64(),
@@ -163,15 +178,39 @@ fn main() {
             .collect()
     };
 
+    // Shard-scaling sweep: the largest stress configuration driven at
+    // 1/2/4/8 shards (quick mode shrinks the workload and the counts).
+    let scaling: Vec<driver::ShardScalingRow> = if no_thru || no_scaling {
+        Vec::new()
+    } else {
+        let ((j, l, w), counts): ((usize, usize, usize), &[usize]) = if quick {
+            ((4, 8, 8), &[1, 4])
+        } else {
+            ((16, 24, 24), &[1, 2, 4, 8])
+        };
+        let rows = driver::measure_shard_scaling(j, l, w, reps, counts);
+        for r in &rows {
+            eprintln!(
+                "shard_scaling {} @{} shard(s): {} events, {:.4}s → {:.0} events/sec",
+                r.name,
+                r.shards,
+                r.events,
+                r.wall.as_secs_f64(),
+                r.events_per_sec()
+            );
+        }
+        rows
+    };
+
     if !no_json {
         // The chaos section carries only virtual-time fields, so the
         // record's chaos entries are byte-identical between runs.
-        let chaos = if only.is_empty() || only.iter().any(|o| o == "chaos") {
+        let chaos = if !thru_only && (only.is_empty() || only.iter().any(|o| o == "chaos")) {
             driver::chaos_record(quick)
         } else {
             Vec::new()
         };
-        let json = driver::bench_json(&results, &throughputs, &chaos, quick, threads);
+        let json = driver::bench_json(&results, &throughputs, &scaling, &chaos, quick, threads);
         match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes())) {
             Ok(()) => eprintln!("wrote {json_path}"),
             Err(e) => {

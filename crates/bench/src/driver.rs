@@ -160,11 +160,13 @@ impl Throughput {
     }
 }
 
-/// Runs the stress batch once on the rack-scale preset and returns
-/// `(tasks, events, wall)`.
-pub fn stress_run(jobs: usize, layers: usize, width: usize) -> (usize, u64, Duration) {
+/// Runs the stress batch once on the rack-scale preset with the event
+/// loop split across `shards` and returns `(tasks, events, wall)`. The
+/// report — including the event count — is bit-for-bit identical at
+/// every shard count; only the wall-clock may differ.
+pub fn stress_run(jobs: usize, layers: usize, width: usize, shards: usize) -> (usize, u64, Duration) {
     let (topo, _rack) = disaggregated_rack(4, 16, 4, 256);
-    let mut rt = Runtime::new(topo, RuntimeConfig::default());
+    let mut rt = Runtime::new(topo, RuntimeConfig::default().with_shards(shards));
     let batch = stress_jobs(jobs, layers, width);
     let t = Instant::now();
     let report = rt.run(batch).expect("stress batch runs");
@@ -172,16 +174,65 @@ pub fn stress_run(jobs: usize, layers: usize, width: usize) -> (usize, u64, Dura
 }
 
 /// Best-of-`reps` throughput for one stress configuration.
-pub fn measure_throughput(jobs: usize, layers: usize, width: usize, reps: usize) -> Throughput {
+pub fn measure_throughput(
+    jobs: usize,
+    layers: usize,
+    width: usize,
+    reps: usize,
+    shards: usize,
+) -> Throughput {
     let mut best: Option<(usize, u64, Duration)> = None;
     for _ in 0..reps.max(1) {
-        let r = stress_run(jobs, layers, width);
+        let r = stress_run(jobs, layers, width, shards);
         if best.as_ref().map(|b| r.2 < b.2).unwrap_or(true) {
             best = Some(r);
         }
     }
     let (tasks, events, wall) = best.expect("at least one rep");
     Throughput { name: format!("j{jobs}_l{layers}_w{width}"), tasks, events, wall }
+}
+
+/// One row of the shard-scaling sweep: the same stress configuration
+/// driven at a different shard count.
+#[derive(Debug, Clone)]
+pub struct ShardScalingRow {
+    /// Stress configuration label (same format as [`Throughput::name`]).
+    pub name: String,
+    /// Requested shard count.
+    pub shards: usize,
+    /// Tasks executed (shard-invariant).
+    pub tasks: usize,
+    /// Events committed (shard-invariant — the equivalence goldens pin
+    /// this, so a cross-count mismatch here is a correctness bug, not a
+    /// perf artifact).
+    pub events: u64,
+    /// Best wall-clock over the measurement repetitions.
+    pub wall: Duration,
+}
+
+impl ShardScalingRow {
+    /// Events per host second at this shard count.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Measures one stress configuration across `counts` shard counts
+/// (best-of-`reps` each). The first row is the reference for speedup.
+pub fn measure_shard_scaling(
+    jobs: usize,
+    layers: usize,
+    width: usize,
+    reps: usize,
+    counts: &[usize],
+) -> Vec<ShardScalingRow> {
+    counts
+        .iter()
+        .map(|&shards| {
+            let t = measure_throughput(jobs, layers, width, reps, shards);
+            ShardScalingRow { name: t.name, shards, tasks: t.tasks, events: t.events, wall: t.wall }
+        })
+        .collect()
 }
 
 /// Pre-refactor (seed executor) tasks/sec on the same stress configs and
@@ -355,6 +406,7 @@ pub fn chaos_record(quick: bool) -> Vec<ChaosRow> {
 pub fn bench_json(
     experiments: &[ExpResult],
     throughputs: &[Throughput],
+    shard_scaling: &[ShardScalingRow],
     chaos: &[ChaosRow],
     quick: bool,
     threads: usize,
@@ -383,6 +435,27 @@ pub fn bench_json(
             baseline.map(|b| format!("{b:.0}")).unwrap_or_else(|| "null".into()),
             speedup.map(|s| format!("{s:.2}")).unwrap_or_else(|| "null".into()),
             if i + 1 < throughputs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    // The same stress configuration driven at increasing shard counts.
+    // `tasks`/`events` are shard-invariant by construction; only the
+    // wall-clock (and the rates derived from it) may move.
+    out.push_str("  \"shard_scaling\": [\n");
+    let reference = shard_scaling.first().map(|r| r.wall.as_secs_f64());
+    for (i, r) in shard_scaling.iter().enumerate() {
+        let speedup = reference.map(|w1| w1 / r.wall.as_secs_f64()).unwrap_or(1.0);
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shards\": {}, \"tasks\": {}, \"events\": {}, \
+             \"wall_s\": {:.6}, \"events_per_sec\": {:.0}, \"speedup_vs_1shard\": {:.2}}}{}\n",
+            json_escape(&r.name),
+            r.shards,
+            r.tasks,
+            r.events,
+            r.wall.as_secs_f64(),
+            r.events_per_sec(),
+            speedup,
+            if i + 1 < shard_scaling.len() { "," } else { "" },
         ));
     }
     out.push_str("  ],\n");
@@ -434,12 +507,32 @@ mod tests {
 
     #[test]
     fn stress_batch_is_deterministic() {
-        let a = stress_run(2, 3, 3);
-        let b = stress_run(2, 3, 3);
+        let a = stress_run(2, 3, 3, 1);
+        let b = stress_run(2, 3, 3, 1);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
         assert_eq!(a.0, 2 * 3 * 3, "every stress task executes");
         assert!(a.1 >= a.0 as u64, "at least one event per task");
+    }
+
+    #[test]
+    fn stress_batch_is_shard_invariant() {
+        let one = stress_run(2, 3, 3, 1);
+        for shards in [2, 4] {
+            let n = stress_run(2, 3, 3, shards);
+            assert_eq!(n.0, one.0, "task count diverged at {shards} shards");
+            assert_eq!(n.1, one.1, "event count diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_scaling_rows_carry_invariant_counts() {
+        let rows = measure_shard_scaling(2, 3, 3, 1, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.name == "j2_l3_w3"));
+        assert_eq!(rows[0].shards, 1);
+        assert!(rows.iter().all(|r| r.tasks == rows[0].tasks));
+        assert!(rows.iter().all(|r| r.events == rows[0].events));
     }
 
     #[test]
@@ -464,10 +557,28 @@ mod tests {
             detected: 1,
             reconstructs: 1,
         }];
-        let s = bench_json(&exps, &thru, &chaos, true, 4);
+        let scaling = vec![
+            ShardScalingRow {
+                name: "j4_l8_w8".into(),
+                shards: 1,
+                tasks: 256,
+                events: 1024,
+                wall: Duration::from_millis(4),
+            },
+            ShardScalingRow {
+                name: "j4_l8_w8".into(),
+                shards: 4,
+                tasks: 256,
+                events: 1024,
+                wall: Duration::from_millis(1),
+            },
+        ];
+        let s = bench_json(&exps, &thru, &scaling, &chaos, true, 4);
         assert!(s.contains("\"schema\": \"disagg-bench-v1\""));
         assert!(s.contains("\"name\": \"j4_l8_w8\""));
         assert!(s.contains("\"speedup_vs_seed\""));
+        assert!(s.contains("\"shard_scaling\""));
+        assert!(s.contains("\"speedup_vs_1shard\": 4.00"));
         assert!(s.contains("\"id\": \"table1\""));
         assert!(s.contains("\"workload\": \"dbms\""));
         assert!(s.contains("\"slowdown\": 1.5000"));

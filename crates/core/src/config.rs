@@ -116,6 +116,13 @@ pub struct RuntimeConfig {
     /// *different failure domains*, so a node loss cannot erase a result
     /// the application was promised would survive.
     pub persistent_replicas: usize,
+    /// Event-loop shards: the topology is partitioned along node
+    /// boundaries into this many per-shard event loops, synchronized
+    /// with conservative virtual-time windows. Clamped to the node
+    /// count. Reports, traces, and metrics are bit-for-bit identical at
+    /// every shard count (pinned by the equivalence goldens); sharding
+    /// only changes how the simulation is *driven*.
+    pub shards: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -132,6 +139,7 @@ impl Default for RuntimeConfig {
             recovery: RecoveryPolicy::default(),
             admission_watermark: None,
             persistent_replicas: 1,
+            shards: 1,
         }
     }
 }
@@ -215,6 +223,14 @@ impl RuntimeConfig {
     /// Keeps `n` copies of every persistent output (n >= 1).
     pub fn with_persistent_replicas(mut self, n: usize) -> Self {
         self.persistent_replicas = n.max(1);
+        self
+    }
+
+    /// Runs the event loop on `n` topology shards (n >= 1; clamped to
+    /// the node count at runtime). Output is identical at every shard
+    /// count.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
         self
     }
 }

@@ -1,0 +1,132 @@
+//! Per-shard event-loop state.
+//!
+//! Each [`ShardState`] owns everything that belongs to its slice of the
+//! topology: the shard's event heap, its devices' ready queues and lane
+//! bookkeeping, its deferred task exits, and one outbox per peer shard
+//! for cross-shard events. The coordinator in [`super::run_wave`]
+//! *commits* events serially in global `(SimTime, seq)` order; the
+//! shards' job is to hold state partitioned so the staging phase — the
+//! part that scales — can run on all shards at once without sharing.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use disagg_hwsim::shard::ShardMap;
+use disagg_hwsim::time::SimTime;
+use disagg_hwsim::topology::Topology;
+use disagg_obs::sharded::{ShardLanes, Stamped};
+use disagg_region::region::OwnerId;
+
+use crate::runtime::Runtime;
+
+use super::task::QueueEntry;
+use super::EventKind;
+
+/// A stamped event: `(time, global seq, kind)`. The `seq` is assigned
+/// by the coordinator at push time from one wave-global counter, so the
+/// union of all shard heaps is totally ordered exactly like the old
+/// single heap.
+pub(crate) type Event = (SimTime, u64, EventKind);
+
+/// One shard's slice of the wave state.
+pub(crate) struct ShardState {
+    /// This shard's event heap (min on `(time, seq)`).
+    pub heap: BinaryHeap<Reverse<Event>>,
+    /// Events staged for the current virtual-time window, ascending.
+    pub staged: Vec<Event>,
+    /// Consumed prefix of `staged`.
+    pub cursor: usize,
+    /// Ready queues for this shard's compute devices, indexed by the
+    /// shard-local device index (min-heap on [`QueueEntry`]).
+    pub queues: Vec<BinaryHeap<Reverse<QueueEntry>>>,
+    /// Lane free times for this shard's compute devices (local index).
+    pub lane_free: Vec<Vec<SimTime>>,
+    /// Task-exit cleanup deferred until virtual time passes the task's
+    /// finish. Min-heap on `(finish, seq)`; the seq is *wave-global*,
+    /// so the merged drain across shards reproduces the old single
+    /// heap's pop order exactly.
+    pub pending_exits: BinaryHeap<Reverse<(SimTime, u64, OwnerId)>>,
+    /// Outgoing cross-shard events, one mailbox per destination shard.
+    /// Flushed into the destinations' heaps by the coordinator between
+    /// commits; heap order restores the total order, so flush order is
+    /// irrelevant.
+    pub outboxes: Vec<VecDeque<Event>>,
+}
+
+impl ShardState {
+    pub fn new(map: &ShardMap, s: usize, topo: &Topology, t0: SimTime) -> ShardState {
+        let computes = map.computes(s);
+        ShardState {
+            heap: BinaryHeap::new(),
+            staged: Vec::new(),
+            cursor: 0,
+            queues: computes.iter().map(|_| BinaryHeap::new()).collect(),
+            lane_free: computes
+                .iter()
+                .map(|&c| vec![t0; topo.compute(c).slots as usize])
+                .collect(),
+            pending_exits: BinaryHeap::new(),
+            outboxes: (0..map.shards()).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// The earliest pending event on this shard (staged front or heap
+    /// head), if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        let staged = self.staged.get(self.cursor).map(|&(t, _, _)| t);
+        let heaped = self.heap.peek().map(|&Reverse((t, _, _))| t);
+        match (staged, heaped) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Moves every event strictly before `window_end` (or all of them
+    /// when unbounded) from the heap into `staged`, ascending by
+    /// construction. This is the phase that runs on all shards in
+    /// parallel: it touches only this shard's heap.
+    pub fn stage(&mut self, window_end: Option<SimTime>) {
+        debug_assert_eq!(self.cursor, self.staged.len());
+        self.staged.clear();
+        self.cursor = 0;
+        while let Some(&Reverse((t, _, _))) = self.heap.peek() {
+            if window_end.is_some_and(|end| t >= end) {
+                break;
+            }
+            let Reverse(e) = self.heap.pop().expect("peeked");
+            self.staged.push(e);
+        }
+    }
+}
+
+/// Drains deferred task exits across all shards in merged global
+/// `(finish, seq)` order — exactly the old single-heap pop order — and
+/// applies each exit to the pool. `upto = Some(t)` flushes exits with
+/// `finish <= t` (the pre-allocation flush in
+/// [`super::task::run_task`]); `None` flushes everything (end of
+/// wave). `lanes`/`scratch` are reusable merge buffers owned by the
+/// wave.
+pub(crate) fn flush_exits(
+    rt: &mut Runtime,
+    shards: &mut [ShardState],
+    lanes: &mut ShardLanes<OwnerId>,
+    scratch: &mut Vec<Stamped<OwnerId>>,
+    upto: Option<SimTime>,
+) {
+    for (s, shard) in shards.iter_mut().enumerate() {
+        while let Some(&Reverse((t, seq, who))) = shard.pending_exits.peek() {
+            if upto.is_some_and(|b| t > b) {
+                break;
+            }
+            shard.pending_exits.pop();
+            lanes.push(s, t, seq, who);
+        }
+    }
+    if lanes.is_empty() {
+        return;
+    }
+    lanes.merge_into(scratch);
+    for &(t, _, who) in scratch.iter() {
+        rt.lifetime.task_exit(&mut rt.mgr, &mut rt.trace, who, t);
+    }
+}

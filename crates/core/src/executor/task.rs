@@ -1,48 +1,21 @@
-//! The discrete-event, out-of-order executor.
+//! Task-level execution: dispatch, region allocation, body execution,
+//! fault retries, and successor handover.
 //!
-//! [`run_wave`] drives one admission wave of jobs through virtual time
-//! as a proper event simulation instead of a serial drain:
-//!
-//! - an **event heap** keyed on [`SimTime`] orders everything that can
-//!   change executor state: a job arriving, a dataflow edge being
-//!   satisfied (output handed over / transfer complete), a compute lane
-//!   freeing up;
-//! - **dependency counting** over [`disagg_dataflow::graph::Dag`]
-//!   in-degrees moves a task into its assigned device's **ready queue**
-//!   the instant its last incoming edge is satisfied;
-//! - each compute device **dispatches** queued tasks into free lanes
-//!   according to the configured [`QueuePolicy`] (the scheduler's cost
-//!   model feeds the default rank order);
-//! - compute and region transfer **overlap**: a producer's successors
-//!   are unblocked by per-edge events (pipelined early for streaming
-//!   pairs), so independent DAG branches advance concurrently on
-//!   different devices while transfers are still in flight elsewhere.
-//!
-//! Determinism: the heap breaks time ties by a monotone sequence
-//! number, queue pops break policy ties by (queue time, job, task), and
-//! the bandwidth ledger is charged in event order — two runs of the
-//! same submission produce identical reports.
-//!
-//! # Hot-path layout
-//!
-//! Per-task state is kept in dense arenas indexed by a one-time global
-//! task numbering (`task_base[ji] + task.index()`), not `(job, task)`
-//! hash maps: dependency counts, pending inputs, and start/finish times
-//! are all O(1) array hits. Deferred task exits live in a min-heap
-//! ordered by `(finish, seq)` — the stable insertion-order tie-break
-//! reproduces the old sort-then-drain semantics without ever re-sorting
-//! inside the event loop.
+//! Everything here runs inside the coordinator's serial commit step
+//! (see the module docs in [`super`]): handlers may freely mutate the
+//! shared [`Runtime`] — the pool, ledger, trace, and auditor — because
+//! exactly one event is ever being committed at a time, in global
+//! `(SimTime, seq)` order.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 use disagg_dataflow::ctx::{Placer, TaskCtx, TaskRegions};
-use disagg_dataflow::job::{JobId, JobSpec};
+use disagg_dataflow::job::JobSpec;
 use disagg_dataflow::task::{TaskError, TaskId, TaskSpec};
 use disagg_hwsim::compute::WorkClass;
-use disagg_hwsim::contention::ResourceKey;
 use disagg_hwsim::device::{AccessOp, AccessPattern};
 use disagg_hwsim::fault::FaultKind;
+use disagg_hwsim::fx::FxHashMap;
 use disagg_hwsim::ids::{ComputeId, LinkId, MemDeviceId};
 use disagg_hwsim::time::{SimDuration, SimTime};
 use disagg_hwsim::topology::Topology;
@@ -54,17 +27,64 @@ use disagg_region::region::OwnerId;
 use disagg_region::typed::RegionType;
 use disagg_sched::enforce::needs_encryption;
 use disagg_sched::placement::PlacementEngine;
-use disagg_sched::schedule::{QueuePolicy, Schedule, Scheduler};
+use disagg_sched::schedule::{QueuePolicy, Scheduler};
 
 use crate::error::DisaggError;
-use crate::report::{DeviceSummary, RunReport, TaskReport};
+use crate::report::TaskReport;
 use crate::runtime::Runtime;
+
+use super::shard::flush_exits;
+use super::{EventKind, Wave};
 
 /// Streaming producers release their first chunk after 1/DEPTH of their
 /// runtime: a streaming consumer on a pure ownership-transfer edge may
 /// start that early instead of waiting for the whole batch — the
 /// paper's stream-vs-batch property made operational.
 pub(crate) const PIPELINE_DEPTH: u64 = 8;
+
+/// A ready-queue entry: `(policy key, queue time, ji, task, est)`.
+///
+/// The tuple's lexicographic `Ord` *is* the dispatch order, so the
+/// per-device ready queue can be a binary heap (O(log n) pop) instead
+/// of the old linear `pick()` scan. The leading `u64` encodes the
+/// active [`QueuePolicy`]'s primary criterion (see [`queue_key`]); the
+/// `(queue time, ji, task)` tail reproduces `pick()`'s deterministic
+/// tie-break exactly. `est` rides along for the straggler check and
+/// never influences ordering — `(ji, task)` is unique per queue.
+pub(crate) type QueueEntry = (u64, SimTime, usize, TaskId, SimDuration);
+
+/// The heap key's primary criterion under a queue policy (smallest
+/// pops first):
+///
+/// - `CostRank`: `!rank.to_bits()`. Upward ranks are finite and
+///   non-negative, where `f64::to_bits` is monotone increasing, so the
+///   bitwise complement is monotone *decreasing* — the min-heap pops
+///   the highest rank first, matching `total_cmp` descending.
+/// - `Fifo`: constant; ordering falls through to queue-arrival time.
+/// - `ShortestFirst`: the estimated duration in nanoseconds.
+pub(crate) fn queue_key(
+    policy: QueuePolicy,
+    rank: f64,
+    est: SimDuration,
+    queued_at: SimTime,
+    ji: usize,
+    task: TaskId,
+) -> QueueEntry {
+    let primary = match policy {
+        QueuePolicy::CostRank => !rank.to_bits(),
+        QueuePolicy::Fifo => 0,
+        QueuePolicy::ShortestFirst => est.0,
+    };
+    (primary, queued_at, ji, task, est)
+}
+
+/// A dispatched queue entry, decoded.
+pub(crate) struct Queued {
+    pub ji: usize,
+    pub task: TaskId,
+    pub queued_at: SimTime,
+    pub est: SimDuration,
+}
 
 /// Adapter exposing the placement engine as the programming model's
 /// [`Placer`] trait (for ad-hoc allocations inside task bodies).
@@ -90,7 +110,7 @@ impl Placer for EnginePlacer<'_> {
 /// its access statistics, and the body's result.
 fn run_body_once(
     rt: &mut Runtime,
-    published: &mut HashMap<String, RegionId>,
+    published: &mut FxHashMap<String, RegionId>,
     tspec: &TaskSpec,
     regions: TaskRegions,
     compute: ComputeId,
@@ -163,275 +183,9 @@ fn first_interrupt(
     None
 }
 
-/// What can happen at an instant of virtual time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum EventKind {
-    /// A task with no (remaining) prerequisites becomes ready: sources
-    /// fire this at their job's arrival time.
-    Ready { ji: usize, task: TaskId },
-    /// One incoming dataflow edge of a task was satisfied (the
-    /// producer's output is transferred/copied and addressable).
-    EdgeDone { ji: usize, task: TaskId },
-    /// A lane on a compute device became free.
-    LaneFree { compute: ComputeId },
-}
-
-/// A task waiting in a device's ready queue.
-#[derive(Debug, Clone, Copy)]
-struct Queued {
-    ji: usize,
-    task: TaskId,
-    queued_at: SimTime,
-    /// Upward rank from the schedule (cost-model priority).
-    rank: f64,
-    /// Estimated duration from the schedule (for shortest-first).
-    est: SimDuration,
-}
-
-/// Mutable per-wave state threaded through the event loop.
-struct Wave {
-    job_ids: Vec<JobId>,
-    schedule: Schedule,
-    heap: BinaryHeap<Reverse<(SimTime, u64, EventKind)>>,
-    seq: u64,
-    /// Global task numbering: task `(ji, t)` owns arena slot
-    /// `task_base[ji] + t.index()`.
-    task_base: Vec<usize>,
-    /// Unsatisfied incoming-edge counts, indexed by global task number.
-    deps_left: Vec<u32>,
-    /// Per-device ready queues.
-    queues: Vec<Vec<Queued>>,
-    /// Per-device lane free times.
-    lane_free: Vec<Vec<SimTime>>,
-    /// Task-exit cleanup deferred until virtual time passes the task's
-    /// finish: tasks overlapping in virtual time must have overlapping
-    /// footprints in the pool. Min-heap on `(finish, seq)`; the seq
-    /// tie-break preserves insertion order among equal finish times.
-    pending_exits: BinaryHeap<Reverse<(SimTime, u64, OwnerId)>>,
-    exit_seq: u64,
-    /// Handed-over input regions awaiting each consumer (global task
-    /// number).
-    inputs: Vec<Vec<RegionId>>,
-    start_at: Vec<SimTime>,
-    finish_at: Vec<SimTime>,
-    /// Job-scoped published-region maps (user-facing string keys).
-    published: Vec<HashMap<String, RegionId>>,
-    global_state: Vec<Option<RegionId>>,
-    /// Events popped off the heap (the loop's unit of work).
-    events: u64,
-    report: RunReport,
-}
-
-impl Wave {
-    fn push_event(&mut self, at: SimTime, kind: EventKind) {
-        self.heap.push(Reverse((at, self.seq, kind)));
-        self.seq += 1;
-    }
-
-    /// Global arena slot of a task.
-    fn gx(&self, ji: usize, task: TaskId) -> usize {
-        self.task_base[ji] + task.index()
-    }
-
-    fn defer_exit(&mut self, finish: SimTime, who: OwnerId) {
-        self.pending_exits.push(Reverse((finish, self.exit_seq, who)));
-        self.exit_seq += 1;
-    }
-}
-
-/// Runs one admission wave (the whole batch when admission is off).
-/// `offsets` are per-job arrival delays relative to the wave start.
-pub(crate) fn run_wave(
-    rt: &mut Runtime,
-    jobs: Vec<JobSpec>,
-    offsets: Vec<SimDuration>,
-) -> Result<RunReport, DisaggError> {
-    let t0 = rt.clock;
-    let trace_mark = rt.trace.len();
-    // Report only this run's audit findings, not the runtime's whole
-    // history.
-    let audit_mark = rt.auditor.violations.len();
-    let denial_mark = rt.auditor.denials;
-    let job_ids: Vec<JobId> = jobs
-        .iter()
-        .map(|_| {
-            let id = JobId(rt.next_job);
-            rt.next_job += 1;
-            id
-        })
-        .collect();
-    let pairs: Vec<(JobId, &JobSpec)> = job_ids.iter().copied().zip(jobs.iter()).collect();
-    let schedule = Scheduler::new(rt.config.sched).plan(&rt.topo, &pairs)?;
-
-    // Job-wide global state, placed where every assigned device can
-    // address it.
-    let mut global_state: Vec<Option<RegionId>> = vec![None; jobs.len()];
-    for (ji, (&jid, spec)) in job_ids.iter().zip(jobs.iter()).enumerate() {
-        if spec.global_state_bytes == 0 {
-            continue;
-        }
-        let mut computes: Vec<ComputeId> = (0..spec.tasks.len())
-            .filter_map(|t| schedule.assignment(jid, TaskId(t as u32)))
-            .collect();
-        computes.dedup();
-        let props = RegionType::GlobalState.properties();
-        let dev = rt
-            .engine
-            .choose_shared(&rt.topo, rt.mgr.pool(), &computes, &props, spec.global_state_bytes)
-            .ok_or(DisaggError::Placement {
-                job: jid,
-                task: TaskId(0),
-                what: "global state",
-            })?;
-        let id = rt.mgr.alloc(
-            dev,
-            spec.global_state_bytes,
-            RegionType::GlobalState,
-            props.clone(),
-            OwnerId::Job(jid.0),
-            t0,
-        )?;
-        rt.auditor
-            .check_placement(&rt.topo, computes[0], id, dev, &props);
-        rt.trace.push(TraceEvent::Alloc {
-            region: id.0,
-            dev,
-            bytes: spec.global_state_bytes,
-            at: t0,
-        });
-        global_state[ji] = Some(id);
-    }
-
-    // One-time global task numbering: per-job offsets into flat arenas.
-    let mut task_base = Vec::with_capacity(jobs.len());
-    let mut total_tasks = 0usize;
-    for spec in &jobs {
-        task_base.push(total_tasks);
-        total_tasks += spec.tasks.len();
-    }
-    let mut deps_left = Vec::with_capacity(total_tasks);
-    for spec in &jobs {
-        deps_left.extend(spec.dag.indegrees().into_iter().map(|d| d as u32));
-    }
-
-    let mut w = Wave {
-        job_ids,
-        schedule,
-        heap: BinaryHeap::new(),
-        seq: 0,
-        task_base,
-        deps_left,
-        queues: vec![Vec::new(); rt.topo.compute_devices().len()],
-        lane_free: rt
-            .topo
-            .compute_devices()
-            .iter()
-            .map(|m| vec![t0; m.slots as usize])
-            .collect(),
-        pending_exits: BinaryHeap::new(),
-        exit_seq: 0,
-        inputs: vec![Vec::new(); total_tasks],
-        start_at: vec![SimTime::ZERO; total_tasks],
-        finish_at: vec![SimTime::ZERO; total_tasks],
-        published: jobs.iter().map(|_| HashMap::new()).collect(),
-        global_state,
-        events: 0,
-        report: RunReport::default(),
-    };
-
-    // Seed the frontier: source tasks become ready when their job
-    // arrives.
-    for (ji, spec) in jobs.iter().enumerate() {
-        let arrival = t0 + offsets[ji];
-        for task in spec.dag.frontier() {
-            w.push_event(arrival, EventKind::Ready { ji, task });
-        }
-    }
-
-    // The event loop: strictly non-decreasing virtual time.
-    while let Some(Reverse((at, _, kind))) = w.heap.pop() {
-        w.events += 1;
-        match kind {
-            EventKind::Ready { ji, task } => enqueue(rt, &mut w, &jobs, ji, task, at)?,
-            EventKind::EdgeDone { ji, task } => {
-                let g = w.gx(ji, task);
-                w.deps_left[g] -= 1;
-                if w.deps_left[g] == 0 {
-                    enqueue(rt, &mut w, &jobs, ji, task, at)?;
-                }
-            }
-            EventKind::LaneFree { compute } => service(rt, &mut w, &jobs, compute, at)?,
-        }
-    }
-    assert_eq!(
-        w.report.tasks.len(),
-        total_tasks,
-        "event heap drained with tasks unrun; DAG validation should prevent this"
-    );
-
-    // End of wave: flush the remaining task exits in time order, then
-    // release job-scoped regions; App-scoped (persistent) regions
-    // survive.
-    while let Some(Reverse((t, _, who_exited))) = w.pending_exits.pop() {
-        rt.lifetime.task_exit(&mut rt.mgr, &mut rt.trace, who_exited, t);
-    }
-    for &jid in &w.job_ids {
-        let _ = rt.mgr.release_all(OwnerId::Job(jid.0));
-    }
-
-    // Feed the wave's accesses into the hotness tracker (one decay tick
-    // per wave so old heat fades).
-    rt.hotness.decay();
-    for e in &rt.trace.events()[trace_mark..] {
-        match *e {
-            TraceEvent::Access { region, bytes, at, .. } => {
-                rt.hotness.record(RegionId(region), bytes, at);
-            }
-            TraceEvent::Free { region, .. } => {
-                rt.hotness.forget(RegionId(region));
-            }
-            _ => {}
-        }
-    }
-
-    let end = w.finish_at.iter().copied().fold(t0, SimTime::max);
-    rt.clock = end;
-    let mut report = w.report;
-    report.events = w.events;
-    report.makespan = end - t0;
-    report.bytes_moved = rt.trace.bytes_moved();
-    report.bytes_ownership_transferred = rt.trace.bytes_transferred_by_ownership();
-    report.placements = std::mem::take(&mut rt.engine.decisions);
-    report.violations = rt.auditor.violations[audit_mark..].to_vec();
-    report.denials = rt.auditor.denials - denial_mark;
-    report.devices = rt
-        .topo
-        .mem_ids()
-        .map(|dev| DeviceSummary {
-            dev,
-            peak_bytes: rt.mgr.pool().peak(dev),
-            capacity: rt.mgr.pool().capacity(dev),
-            bytes_transferred: rt.ledger.stats(ResourceKey::Mem(dev)).bytes.round() as u64,
-        })
-        .collect();
-    report.tasks.sort_by_key(|t| (t.finish, t.job, t.task));
-    // The DAG the wave honored, for critical-path analysis.
-    for (ji, spec) in jobs.iter().enumerate() {
-        let jid = w.job_ids[ji];
-        for ti in 0..spec.dag.len() {
-            let task = TaskId(ti as u32);
-            for &succ in spec.dag.successors(task) {
-                report.edges.push((jid, task, succ));
-            }
-        }
-    }
-    report.metrics = rt.config.observer.metrics();
-    Ok(report)
-}
-
 /// A ready task joins its assigned device's queue (rerouted if the
 /// node is down), then the device tries to dispatch.
-fn enqueue(
+pub(crate) fn enqueue(
     rt: &mut Runtime,
     w: &mut Wave,
     jobs: &[JobSpec],
@@ -463,52 +217,34 @@ fn enqueue(
         on: compute,
         at,
     });
-    w.queues[compute.index()].push(Queued {
+    let (si, li) = w.map.local_compute(compute);
+    w.shards[si].queues[li].push(Reverse(queue_key(
+        rt.config.queue,
+        entry.rank,
+        entry.est_duration(),
+        at,
         ji,
         task,
-        queued_at: at,
-        rank: entry.rank,
-        est: entry.est_duration(),
-    });
+    )));
     service(rt, w, jobs, compute, at)
 }
 
-/// Picks the queue index to dispatch next under a policy. Ties always
-/// fall back to (queue time, job, task) so dispatch is deterministic.
-fn pick(queue: &[Queued], policy: QueuePolicy) -> usize {
-    let tiebreak = |q: &Queued| (q.queued_at, q.ji, q.task);
-    let best = match policy {
-        QueuePolicy::CostRank => queue.iter().enumerate().min_by(|(_, a), (_, b)| {
-            b.rank
-                .total_cmp(&a.rank)
-                .then_with(|| tiebreak(a).cmp(&tiebreak(b)))
-        }),
-        QueuePolicy::Fifo => queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, q)| tiebreak(q)),
-        QueuePolicy::ShortestFirst => queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| a.est.cmp(&b.est).then_with(|| tiebreak(a).cmp(&tiebreak(b)))),
-    };
-    best.map(|(i, _)| i).expect("queue is non-empty")
-}
-
 /// Dispatches queued tasks into free lanes until the device runs out
-/// of either.
-fn service(
+/// of either. The ready queue is a min-heap on [`QueueEntry`], so the
+/// pop *is* the policy decision.
+pub(crate) fn service(
     rt: &mut Runtime,
     w: &mut Wave,
     jobs: &[JobSpec],
     compute: ComputeId,
     now: SimTime,
 ) -> Result<(), DisaggError> {
+    let (si, li) = w.map.local_compute(compute);
     loop {
-        if w.queues[compute.index()].is_empty() {
+        if w.shards[si].queues[li].is_empty() {
             return Ok(());
         }
-        let Some(lane) = w.lane_free[compute.index()]
+        let Some(lane) = w.shards[si].lane_free[li]
             .iter()
             .enumerate()
             .filter(|&(_, &f)| f <= now)
@@ -517,12 +253,9 @@ fn service(
         else {
             return Ok(());
         };
-        let qi = pick(&w.queues[compute.index()], rt.config.queue);
-        // pick() selects by a strict total order on (rank, queue time,
-        // job, task), so the winner is position-independent and the
-        // O(1) swap_remove cannot perturb future dispatch decisions.
-        let q = w.queues[compute.index()].swap_remove(qi);
-        run_task(rt, w, jobs, q, compute, lane, now)?;
+        let Reverse((_, queued_at, ji, task, est)) =
+            w.shards[si].queues[li].pop().expect("checked non-empty");
+        run_task(rt, w, jobs, Queued { ji, task, queued_at, est }, compute, lane, now)?;
     }
 }
 
@@ -530,7 +263,7 @@ fn service(
 /// the body against the virtual clock, survives mid-task crashes, then
 /// hands its output over to successors and emits their edge events.
 #[allow(clippy::too_many_lines)]
-fn run_task(
+pub(crate) fn run_task(
     rt: &mut Runtime,
     w: &mut Wave,
     jobs: &[JobSpec],
@@ -560,14 +293,13 @@ fn run_task(
 
     // Flush exits whose virtual finish precedes this start: their
     // regions are genuinely gone by the time this task allocates.
-    while let Some(&Reverse((t, _, who_exited))) = w.pending_exits.peek() {
-        if t <= start {
-            w.pending_exits.pop();
-            rt.lifetime.task_exit(&mut rt.mgr, &mut rt.trace, who_exited, t);
-        } else {
-            break;
-        }
-    }
+    flush_exits(
+        rt,
+        &mut w.shards,
+        &mut w.exit_lanes,
+        &mut w.exit_scratch,
+        Some(start),
+    );
 
     // --- Region allocation, by declared properties. ---
     let g = w.gx(ji, task);
@@ -672,7 +404,6 @@ fn run_task(
         on: compute,
         at: start,
     });
-    let regions_snapshot = regions.clone();
     let policy = rt.config.recovery;
     let (mut finish, mut stats, mut body_result) =
         run_body_once(rt, &mut w.published[ji], tspec, regions.clone(), compute, who, start);
@@ -828,18 +559,21 @@ fn run_task(
         at: finish,
     });
     // A crash retry may have moved the task to a device with fewer
-    // lanes; clamp the lane index before booking, and free the lane by
-    // event so queued work dispatches the instant it opens.
-    let lane = lane.min(w.lane_free[compute.index()].len() - 1);
-    w.lane_free[compute.index()][lane] = finish;
+    // lanes (possibly on another shard); clamp the lane index before
+    // booking, and free the lane by event so queued work dispatches the
+    // instant it opens.
+    let (fsi, fli) = w.map.local_compute(compute);
+    let lanes = &mut w.shards[fsi].lane_free[fli];
+    let lane = lane.min(lanes.len() - 1);
+    lanes[lane] = finish;
     w.push_event(finish, EventKind::LaneFree { compute });
     w.start_at[g] = start;
     w.finish_at[g] = finish;
 
     // --- Handover to successors: emit one EdgeDone per outgoing edge
     // at the instant the consumer can actually address the data. ---
-    let succs = spec.dag.successors(task).to_vec();
-    if let Some(out) = regions_snapshot.output {
+    let succs = spec.dag.successors(task);
+    if let Some(out) = regions.output {
         if succs.is_empty() {
             if eff.persistent {
                 // Persistent results outlive the job (App scope).
@@ -921,7 +655,7 @@ fn run_task(
     } else {
         // No output region: successors are gated on (pipelined) finish
         // alone.
-        for &s in &succs {
+        for &s in succs {
             let consumer_streams =
                 spec.tasks[s.index()].props.effective(&spec.defaults).streaming;
             let release = if eff.streaming && consumer_streams {
@@ -952,7 +686,7 @@ fn run_task(
             rt.mgr.transfer(r, who, OwnerId::Job(jid.0))?;
         }
     }
-    w.defer_exit(finish, who);
+    w.defer_exit(finish, who, compute);
 
     w.report.tasks.push(TaskReport {
         job: jid,

@@ -19,11 +19,12 @@
 //!    rule of §2.3), audits every placement against its declared
 //!    properties, and reports utilization, movement, and makespan.
 
-use std::collections::HashMap;
+use disagg_hwsim::fx::FxHashMap;
 
 use disagg_dataflow::job::JobSpec;
 use disagg_hwsim::contention::{BandwidthLedger, ResourceKey};
 use disagg_hwsim::ids::{ComputeId, MemDeviceId};
+use disagg_hwsim::shard::ShardMap;
 use disagg_hwsim::time::{SimDuration, SimTime};
 use disagg_hwsim::topology::Topology;
 use disagg_hwsim::trace::{Trace, TraceEvent};
@@ -54,7 +55,10 @@ pub struct Runtime {
     pub(crate) auditor: Auditor,
     pub(crate) hotness: HotnessTracker,
     /// Application-scope named regions published across jobs.
-    pub(crate) app_published: HashMap<String, RegionId>,
+    pub(crate) app_published: FxHashMap<String, RegionId>,
+    /// Node-aligned topology partition for the sharded event loop
+    /// (built once; the topology is immutable for the runtime's life).
+    pub(crate) shard_map: ShardMap,
     pub(crate) next_job: u64,
     pub(crate) clock: SimTime,
 }
@@ -84,12 +88,19 @@ impl Runtime {
             lifetime: LifetimeManager::new(config.handover),
             auditor: Auditor::new(),
             hotness: HotnessTracker::new(),
-            app_published: HashMap::new(),
+            app_published: FxHashMap::default(),
+            shard_map: ShardMap::partition(&topo, config.shards),
             next_job: 0,
             clock: SimTime::ZERO,
             topo,
             config,
         }
+    }
+
+    /// The effective shard count of the event loop (the configured
+    /// count clamped to the topology's node count).
+    pub fn shards(&self) -> usize {
+        self.shard_map.shards()
     }
 
     /// The hardware topology.

@@ -11,7 +11,7 @@
 //! trait, which the runtime system implements; this keeps the *placement
 //! policy* out of the programming model, as the paper demands.
 
-use std::collections::HashMap;
+use disagg_hwsim::fx::FxHashMap;
 
 use disagg_hwsim::compute::WorkClass;
 use disagg_hwsim::device::AccessPattern;
@@ -65,12 +65,12 @@ pub struct TaskCtx<'a, 'b> {
     placer: &'a mut dyn Placer,
     /// Named global-scratch publications, shared across the job
     /// (e.g. a bloom filter another operator can reuse).
-    published: &'a mut HashMap<String, RegionId>,
+    published: &'a mut FxHashMap<String, RegionId>,
     /// Application-wide publications: regions that outlive the job so
     /// *other jobs* can reuse them (a cached index, a transformed data
     /// set — the paper's "Global Scratch can pass data between tasks
     /// that are not connected", across job boundaries).
-    app_published: &'a mut HashMap<String, RegionId>,
+    app_published: &'a mut FxHashMap<String, RegionId>,
     /// High-water mark of output bytes written (for handover sizing).
     pub output_written: u64,
 }
@@ -81,8 +81,8 @@ impl<'a, 'b> TaskCtx<'a, 'b> {
         acc: &'a mut Accessor<'b>,
         regions: TaskRegions,
         placer: &'a mut dyn Placer,
-        published: &'a mut HashMap<String, RegionId>,
-        app_published: &'a mut HashMap<String, RegionId>,
+        published: &'a mut FxHashMap<String, RegionId>,
+        app_published: &'a mut FxHashMap<String, RegionId>,
     ) -> Self {
         TaskCtx {
             acc,
@@ -329,8 +329,8 @@ mod tests {
         let mut trace = Trace::enabled();
         let mut acc = Accessor::new(&topo, &mut ledger, &mut mgr, &mut trace, ids.cpu, WHO, SimTime::ZERO);
         let mut placer = FixedPlacer(ids.dram);
-        let mut published = HashMap::new();
-        let mut app_published = HashMap::new();
+        let mut published = FxHashMap::default();
+        let mut app_published = FxHashMap::default();
         let mut ctx = TaskCtx::new(
             &mut acc,
             TaskRegions {
@@ -364,8 +364,8 @@ mod tests {
         let mut trace = Trace::enabled();
         let mut acc = Accessor::new(&topo, &mut ledger, &mut mgr, &mut trace, ids.cpu, WHO, SimTime::ZERO);
         let mut placer = NoPlacer;
-        let mut published = HashMap::new();
-        let mut app_published = HashMap::new();
+        let mut published = FxHashMap::default();
+        let mut app_published = FxHashMap::default();
         let mut ctx = TaskCtx::new(
             &mut acc,
             TaskRegions::default(),
@@ -388,8 +388,8 @@ mod tests {
         let mut trace = Trace::enabled();
         let mut acc = Accessor::new(&topo, &mut ledger, &mut mgr, &mut trace, ids.cpu, WHO, SimTime::ZERO);
         let mut placer = FixedPlacer(ids.pmem);
-        let mut published = HashMap::new();
-        let mut app_published = HashMap::new();
+        let mut published = FxHashMap::default();
+        let mut app_published = FxHashMap::default();
         let mut ctx = TaskCtx::new(
             &mut acc,
             TaskRegions::default(),
@@ -412,8 +412,8 @@ mod tests {
         let mut trace = Trace::enabled();
         let mut acc = Accessor::new(&topo, &mut ledger, &mut mgr, &mut trace, ids.cpu, WHO, SimTime::ZERO);
         let mut placer = NoPlacer;
-        let mut published = HashMap::new();
-        let mut app_published = HashMap::new();
+        let mut published = FxHashMap::default();
+        let mut app_published = FxHashMap::default();
         let mut ctx = TaskCtx::new(
             &mut acc,
             TaskRegions::default(),
@@ -438,8 +438,8 @@ mod tests {
         let mut trace = Trace::enabled();
         let mut acc = Accessor::new(&topo, &mut ledger, &mut mgr, &mut trace, ids.cpu, WHO, SimTime::ZERO);
         let mut placer = FixedPlacer(ids.dram);
-        let mut published = HashMap::new();
-        let mut app_published = HashMap::new();
+        let mut published = FxHashMap::default();
+        let mut app_published = FxHashMap::default();
         {
             let mut ctx = TaskCtx::new(
                 &mut acc,

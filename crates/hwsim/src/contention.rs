@@ -23,8 +23,7 @@
 //! newer alias falls back to a spill map, so accounting never corrupts
 //! newer buckets.
 
-use std::collections::HashMap;
-
+use crate::fx::FxHashMap;
 use crate::ids::{ComputeId, LinkId, MemDeviceId};
 use crate::time::{SimDuration, SimTime};
 
@@ -89,7 +88,7 @@ struct Lane {
     /// *newer* alias (only reachable if a reservation jumps further back
     /// in virtual time than the ring retains — pathological, but must
     /// not corrupt the newer bucket).
-    spill: HashMap<u64, Slot>,
+    spill: FxHashMap<u64, Slot>,
     stats: ResourceStats,
 }
 
@@ -98,7 +97,7 @@ impl Lane {
         Lane {
             slots: vec![Slot::empty(); INITIAL_SLOTS],
             mask: INITIAL_SLOTS as u64 - 1,
-            spill: HashMap::new(),
+            spill: FxHashMap::default(),
             stats: ResourceStats::default(),
         }
     }
@@ -149,7 +148,7 @@ impl Lane {
 pub struct BandwidthLedger {
     bucket_ns: u64,
     /// Resource → dense lane index.
-    lane_of: HashMap<ResourceKey, u32>,
+    lane_of: FxHashMap<ResourceKey, u32>,
     lanes: Vec<Lane>,
 }
 
@@ -165,7 +164,7 @@ impl BandwidthLedger {
         assert!(bucket_ns > 0, "bucket width must be positive");
         BandwidthLedger {
             bucket_ns,
-            lane_of: HashMap::new(),
+            lane_of: FxHashMap::default(),
             lanes: Vec::new(),
         }
     }

@@ -33,9 +33,11 @@ pub mod compute;
 pub mod contention;
 pub mod device;
 pub mod fault;
+pub mod fx;
 pub mod ids;
 pub mod presets;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -44,8 +46,10 @@ pub use compute::{ComputeKind, ComputeModel};
 pub use contention::BandwidthLedger;
 pub use device::{AccessOp, AccessPattern, Attachment, MemDeviceKind, MemDeviceModel, SyncSupport};
 pub use fault::{FaultEvent, FaultInjector, FaultKind};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ComputeId, LinkId, MemDeviceId, NodeId};
 pub use rng::SimRng;
+pub use shard::ShardMap;
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkKind, PathCost, Topology, TopologyBuilder};
 pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,232 @@
+//! Topology sharding for the parallel event loop.
+//!
+//! Conservative parallel discrete-event simulation partitions the
+//! simulated hardware into **shards** and lets each shard's event loop
+//! run ahead independently inside a bounded *virtual-time window*. The
+//! bound — the **lookahead** — comes from the physics of the model:
+//! an event committed on one shard at time `t` can only influence
+//! another shard through a cross-shard interconnect link, and the
+//! cheapest such link adds `L` nanoseconds, so no cross-shard effect
+//! can land before `t + L`. Within a window of width `L` the shards'
+//! event streams are causally independent and may be staged in
+//! parallel.
+//!
+//! [`ShardMap::partition`] cuts the topology along **node** (failure
+//! domain) boundaries: a node's compute devices, memory devices, and
+//! routing hub always land in the same shard, so every intra-node
+//! interaction (lane dispatch, local allocation) is shard-local and
+//! only explicit cross-node traffic crosses shards. Nodes are assigned
+//! to shards in contiguous, balanced blocks of the builder's node
+//! order, which keeps rack presets' compute nodes and their pool
+//! blades grouped the way the failure-domain experiments expect — and,
+//! being a pure function of `(topology, shard count)`, the partition
+//! is deterministic.
+
+use crate::ids::{ComputeId, MemDeviceId, NodeId};
+use crate::time::SimDuration;
+use crate::topology::{Endpoint, Topology};
+
+/// A deterministic node→shard partition plus the conservative
+/// lookahead derived from the cheapest cross-shard link.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    shards: usize,
+    node_shard: Vec<u32>,
+    compute_shard: Vec<u32>,
+    /// Index of each compute device within its shard's device list.
+    compute_local: Vec<u32>,
+    /// Compute devices per shard, in id order.
+    shard_computes: Vec<Vec<ComputeId>>,
+    mem_shard: Vec<u32>,
+    /// Minimum latency over links whose endpoints live in different
+    /// shards. `None` when nothing crosses (single shard, or a
+    /// degenerate partition): windows are then unbounded.
+    lookahead: Option<SimDuration>,
+}
+
+impl ShardMap {
+    /// Partitions `topo` into (at most) `shards` shards along node
+    /// boundaries. The effective shard count is clamped to the node
+    /// count and to at least 1; node `i` of `n` goes to shard
+    /// `i * s / n` (contiguous balanced blocks).
+    pub fn partition(topo: &Topology, shards: usize) -> ShardMap {
+        let n = topo.nodes().len().max(1);
+        let s = shards.clamp(1, n);
+        let node_shard: Vec<u32> = (0..topo.nodes().len())
+            .map(|i| (i * s / n) as u32)
+            .collect();
+        let shard_of_node = |id: NodeId| node_shard[id.index()];
+
+        let compute_shard: Vec<u32> = topo
+            .compute_ids()
+            .map(|c| shard_of_node(topo.node_of_compute(c)))
+            .collect();
+        let mem_shard: Vec<u32> = topo
+            .mem_ids()
+            .map(|m| shard_of_node(topo.node_of_mem(m)))
+            .collect();
+
+        let mut shard_computes: Vec<Vec<ComputeId>> = vec![Vec::new(); s];
+        let mut compute_local = vec![0u32; compute_shard.len()];
+        for (i, &sh) in compute_shard.iter().enumerate() {
+            let list = &mut shard_computes[sh as usize];
+            compute_local[i] = list.len() as u32;
+            list.push(ComputeId(i as u32));
+        }
+
+        // Any path that leaves a shard traverses at least one link whose
+        // endpoints resolve to nodes in different shards; the cheapest
+        // such link bounds how soon one shard can affect another.
+        let resolve = |e: Endpoint| -> u32 {
+            match e {
+                Endpoint::Compute(c) => shard_of_node(topo.node_of_compute(c)),
+                Endpoint::Mem(m) => shard_of_node(topo.node_of_mem(m)),
+                Endpoint::Hub(nd) => shard_of_node(nd),
+            }
+        };
+        let lookahead = topo
+            .links()
+            .iter()
+            .filter(|l| resolve(l.a) != resolve(l.b))
+            .map(|l| l.latency_ns)
+            .fold(None::<f64>, |acc, l| {
+                Some(acc.map_or(l, |a| a.min(l)))
+            })
+            // A zero-latency cross link still permits single-instant
+            // windows; clamp so windows always make progress.
+            .map(|ns| SimDuration::from_nanos((ns as u64).max(1)));
+
+        ShardMap {
+            shards: s,
+            node_shard,
+            compute_shard,
+            compute_local,
+            shard_computes,
+            mem_shard,
+            lookahead,
+        }
+    }
+
+    /// Effective shard count (≥ 1, ≤ node count).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning a node.
+    pub fn shard_of_node(&self, id: NodeId) -> usize {
+        self.node_shard[id.index()] as usize
+    }
+
+    /// The shard owning a compute device.
+    pub fn shard_of_compute(&self, id: ComputeId) -> usize {
+        self.compute_shard[id.index()] as usize
+    }
+
+    /// The shard owning a memory device.
+    pub fn shard_of_mem(&self, id: MemDeviceId) -> usize {
+        self.mem_shard[id.index()] as usize
+    }
+
+    /// `(shard, local index)` of a compute device: its position within
+    /// the shard's ready-queue/lane arrays.
+    pub fn local_compute(&self, id: ComputeId) -> (usize, usize) {
+        (
+            self.compute_shard[id.index()] as usize,
+            self.compute_local[id.index()] as usize,
+        )
+    }
+
+    /// The compute devices a shard owns, in id order.
+    pub fn computes(&self, shard: usize) -> &[ComputeId] {
+        &self.shard_computes[shard]
+    }
+
+    /// The conservative window width: the cheapest cross-shard link
+    /// latency. `None` means no link crosses shards and windows are
+    /// unbounded (the single-shard fast path).
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{disaggregated_rack, single_server};
+
+    #[test]
+    fn single_shard_owns_everything_with_unbounded_windows() {
+        let (topo, _) = single_server();
+        let map = ShardMap::partition(&topo, 1);
+        assert_eq!(map.shards(), 1);
+        assert!(topo.compute_ids().all(|c| map.shard_of_compute(c) == 0));
+        assert!(topo.mem_ids().all(|m| map.shard_of_mem(m) == 0));
+        assert_eq!(map.lookahead(), None);
+    }
+
+    #[test]
+    fn partition_is_node_aligned_and_balanced() {
+        let (topo, rack) = disaggregated_rack(4, 16, 4, 256);
+        let map = ShardMap::partition(&topo, 4);
+        assert_eq!(map.shards(), 4);
+        // Devices co-located on a node share its shard.
+        for c in topo.compute_ids() {
+            assert_eq!(
+                map.shard_of_compute(c),
+                map.shard_of_node(topo.node_of_compute(c))
+            );
+        }
+        for m in topo.mem_ids() {
+            assert_eq!(map.shard_of_mem(m), map.shard_of_node(topo.node_of_mem(m)));
+        }
+        // Every shard owns at least one node; blocks are contiguous.
+        let shards: Vec<usize> = topo.nodes().iter().map(|n| map.shard_of_node(n.id)).collect();
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]), "contiguous blocks");
+        assert_eq!(*shards.last().unwrap(), 3);
+        let _ = rack;
+    }
+
+    #[test]
+    fn local_compute_indexes_are_dense_per_shard() {
+        let (topo, _) = disaggregated_rack(3, 16, 3, 128);
+        let map = ShardMap::partition(&topo, 2);
+        for s in 0..map.shards() {
+            for (li, &c) in map.computes(s).iter().enumerate() {
+                assert_eq!(map.local_compute(c), (s, li));
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_is_the_cheapest_cross_shard_link() {
+        let (topo, _) = disaggregated_rack(4, 16, 4, 256);
+        let map = ShardMap::partition(&topo, 4);
+        let la = map.lookahead().expect("rack has cross-shard links");
+        // Must be a real bound: no cross-shard link is cheaper.
+        let min_cross = topo
+            .links()
+            .iter()
+            .filter(|l| {
+                let resolve = |e: Endpoint| match e {
+                    Endpoint::Compute(c) => map.shard_of_compute(c),
+                    Endpoint::Mem(m) => map.shard_of_mem(m),
+                    Endpoint::Hub(n) => map.shard_of_node(n),
+                };
+                resolve(l.a) != resolve(l.b)
+            })
+            .map(|l| l.latency_ns as u64)
+            .min()
+            .unwrap()
+            .max(1);
+        assert_eq!(la, SimDuration::from_nanos(min_cross));
+        assert!(la > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn oversized_shard_request_clamps_to_node_count() {
+        let (topo, _) = single_server();
+        let nodes = topo.nodes().len();
+        let map = ShardMap::partition(&topo, 64);
+        assert_eq!(map.shards(), nodes);
+    }
+}

@@ -35,10 +35,12 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod observer;
+pub mod sharded;
 pub mod timeline;
 
 pub use analyze::{critical_paths, render_critical_paths, CriticalPath, TaskSpan};
 pub use export::{chrome_trace, folded_stacks, validate_chrome_trace, ChromeTraceStats};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry, MetricsSnapshot};
 pub use observer::{CollectingObserver, FullObserver, NullObserver, Observer, ObserverSlot};
+pub use sharded::{merge_stamped, merge_stamped_into, ShardLanes, Stamped};
 pub use timeline::{DeviceTimelines, Timeline, TimelineRecorder};

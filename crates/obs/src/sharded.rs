@@ -1,0 +1,177 @@
+//! Deterministic merging of per-shard event streams.
+//!
+//! The sharded executor runs one event loop per topology shard; each
+//! loop emits its observations (trace events, task exits, metric
+//! samples) into a private lane stamped with the event's virtual
+//! `(SimTime, global_seq)` coordinate. Because every stamp is unique —
+//! the global sequence number is assigned once, at event-creation time,
+//! by a single counter — merging the lanes by `(time, seq)` reconstructs
+//! *exactly* the order a serial run would have produced, regardless of
+//! how many shards the work was split across or how the OS interleaved
+//! their threads. This is the property the shard-count invariance
+//! goldens in `tests/equivalence.rs` pin.
+//!
+//! The merge is a k-way cursor walk (shard counts are small, so a
+//! linear min-scan beats a heap) and *drains* the input lanes, leaving
+//! their allocations in place for the next window.
+
+use disagg_hwsim::time::SimTime;
+
+/// A `(time, seq)`-stamped item in a shard's output lane.
+pub type Stamped<T> = (SimTime, u64, T);
+
+/// Per-shard output lanes that merge back into serial order.
+///
+/// Lanes must be filled in nondecreasing `(time, seq)` order — which
+/// each shard's loop does naturally, since it commits its own events in
+/// virtual-time order. [`ShardLanes::merge_into`] then interleaves the
+/// lanes into the unique global order.
+#[derive(Debug)]
+pub struct ShardLanes<T> {
+    lanes: Vec<Vec<Stamped<T>>>,
+}
+
+impl<T> ShardLanes<T> {
+    /// Creates `shards` empty lanes.
+    pub fn new(shards: usize) -> ShardLanes<T> {
+        ShardLanes {
+            lanes: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Appends an item to a shard's lane.
+    ///
+    /// Items must arrive per-lane in nondecreasing `(time, seq)` order;
+    /// the merge asserts this in debug builds.
+    pub fn push(&mut self, shard: usize, time: SimTime, seq: u64, item: T) {
+        debug_assert!(
+            self.lanes[shard]
+                .last()
+                .is_none_or(|&(t, s, _)| (t, s) <= (time, seq)),
+            "lane {shard} items must be pushed in (time, seq) order"
+        );
+        self.lanes[shard].push((time, seq, item));
+    }
+
+    /// True when no lane holds any item.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(Vec::is_empty)
+    }
+
+    /// Total queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum()
+    }
+
+    /// Drains every lane into `out` in ascending `(time, seq)` order,
+    /// reconstructing the serial event order. Lane capacity is retained
+    /// for reuse.
+    pub fn merge_into(&mut self, out: &mut Vec<Stamped<T>>) {
+        merge_stamped_into(&mut self.lanes, out);
+    }
+}
+
+/// Merges sorted per-shard lanes into `out` by `(time, seq)`, draining
+/// the lanes (their allocations are retained for reuse). `out` is
+/// cleared first. `Drain` iterators move the items without requiring
+/// `T: Default` or `T: Clone`.
+pub fn merge_stamped_into<T>(lanes: &mut [Vec<Stamped<T>>], out: &mut Vec<Stamped<T>>) {
+    let total: usize = lanes.iter().map(Vec::len).sum();
+    out.clear();
+    out.reserve(total);
+    let mut iters: Vec<std::iter::Peekable<std::vec::Drain<'_, Stamped<T>>>> =
+        lanes.iter_mut().map(|l| l.drain(..).peekable()).collect();
+    for _ in 0..total {
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (li, it) in iters.iter_mut().enumerate() {
+            if let Some(&(t, s, _)) = it.peek() {
+                if best.is_none_or(|(_, key)| (t, s) < key) {
+                    best = Some((li, (t, s)));
+                }
+            }
+        }
+        let (li, _) = best.expect("total counted a remaining item");
+        out.push(iters[li].next().expect("peeked item present"));
+    }
+}
+
+/// Convenience wrapper: merges lanes into a fresh `Vec`.
+pub fn merge_stamped<T>(lanes: &mut [Vec<Stamped<T>>]) -> Vec<Stamped<T>> {
+    let mut out = Vec::new();
+    merge_stamped_into(lanes, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    #[test]
+    fn merge_reconstructs_global_seq_order() {
+        let mut lanes = ShardLanes::new(3);
+        // Interleaved stamps as three shards would emit them.
+        lanes.push(0, t(10), 0, "a");
+        lanes.push(1, t(10), 1, "b");
+        lanes.push(2, t(12), 2, "c");
+        lanes.push(0, t(12), 4, "e");
+        lanes.push(1, t(12), 3, "d");
+        lanes.push(2, t(20), 5, "f");
+        let mut out = Vec::new();
+        lanes.merge_into(&mut out);
+        let order: Vec<&str> = out.iter().map(|&(_, _, v)| v).collect();
+        assert_eq!(order, ["a", "b", "c", "d", "e", "f"]);
+        assert!(lanes.is_empty(), "merge drains the lanes");
+    }
+
+    #[test]
+    fn merge_matches_global_sort_for_arbitrary_splits() {
+        // The same stamped stream split across different lane counts
+        // must merge back to the same sequence.
+        let stream: Vec<Stamped<u64>> = (0..200)
+            .map(|i| (t((i * 37) % 500 + i), i, i * 3))
+            .collect();
+        let mut sorted = stream.clone();
+        sorted.sort_by_key(|&(time, seq, _)| (time, seq));
+
+        for shards in [1usize, 2, 4, 8] {
+            let mut lanes: Vec<Vec<Stamped<u64>>> = vec![Vec::new(); shards];
+            for item in &sorted {
+                // Deterministic but uneven assignment.
+                lanes[(item.1 as usize * 7) % shards].push(*item);
+            }
+            let merged = merge_stamped(&mut lanes);
+            assert_eq!(merged, sorted, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn lanes_are_reusable_after_merge() {
+        let mut lanes = ShardLanes::new(2);
+        let mut out = Vec::new();
+        for round in 0..3u64 {
+            lanes.push(0, t(round), round * 2, round);
+            lanes.push(1, t(round), round * 2 + 1, round + 100);
+            lanes.merge_into(&mut out);
+            assert_eq!(out.len(), 2);
+            assert_eq!(out[0].1 + 1, out[1].1);
+            assert!(lanes.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_merge_is_a_noop() {
+        let mut lanes: ShardLanes<u8> = ShardLanes::new(4);
+        let mut out = vec![(t(0), 0, 9u8)];
+        lanes.merge_into(&mut out);
+        assert!(out.is_empty(), "merge_into replaces out with the merged stream");
+    }
+}

@@ -74,6 +74,14 @@ impl PlacementEngine {
     }
 
     /// Chooses a device for a request from a single compute device.
+    ///
+    /// One streaming pass over the devices instead of building and
+    /// sorting a ranked `Vec` per call (this sits under every region
+    /// allocation): each policy's pick is a running extremum over the
+    /// feasible set, reproducing exactly what the former
+    /// rank-then-select computed. Devices are visited in id order, so
+    /// "keep the earlier on ties" selects the smaller id (the sort's
+    /// tie-break) and "replace on ties" the larger.
     pub fn choose(
         &mut self,
         topo: &Topology,
@@ -82,33 +90,59 @@ impl PlacementEngine {
         props: &PropertySet,
         size: u64,
     ) -> Option<MemDeviceId> {
-        let ranked = self.model.rank(topo, pool, compute, props, size);
-        if ranked.is_empty() {
-            return None;
+        use std::cmp::Ordering;
+
+        let locals = match self.policy {
+            PlacementPolicy::ComputeCentric => Some(&topo.compute(compute).local_mem),
+            _ => None,
+        };
+        let mut feasible = 0usize;
+        // Minimum (score, id): Declarative's pick and everyone's fallback.
+        let mut best: Option<(MemDeviceId, f64)> = None;
+        // Maximum (score, id): WorstFeasible's pick.
+        let mut worst: Option<(MemDeviceId, f64)> = None;
+        // First feasible in id order: FirstFit's pick.
+        let mut first: Option<(MemDeviceId, f64)> = None;
+        // Minimum (score, id) among the executor's local devices.
+        let mut best_local: Option<(MemDeviceId, f64)> = None;
+        for dev in topo.mem_ids() {
+            if pool.capacity(dev) - pool.allocated(dev) < size {
+                continue;
+            }
+            let Some(score) = self
+                .model
+                .score(topo, compute, dev, props, size, pool.utilization(dev))
+            else {
+                continue;
+            };
+            feasible += 1;
+            if first.is_none() {
+                first = Some((dev, score));
+            }
+            if best.is_none_or(|(_, b)| score.total_cmp(&b) == Ordering::Less) {
+                best = Some((dev, score));
+            }
+            if worst.is_none_or(|(_, w)| score.total_cmp(&w) != Ordering::Less) {
+                worst = Some((dev, score));
+            }
+            if locals.is_some_and(|l| l.contains(&dev))
+                && best_local.is_none_or(|(_, b)| score.total_cmp(&b) == Ordering::Less)
+            {
+                best_local = Some((dev, score));
+            }
         }
         let (dev, score) = match self.policy {
-            PlacementPolicy::Declarative => ranked[0],
-            PlacementPolicy::WorstFeasible => *ranked.last().expect("nonempty"),
-            PlacementPolicy::FirstFit => {
-                let mut by_id = ranked.clone();
-                by_id.sort_by_key(|&(d, _)| d);
-                by_id[0]
-            }
-            PlacementPolicy::ComputeCentric => {
-                let locals = &topo.compute(compute).local_mem;
-                ranked
-                    .iter()
-                    .copied()
-                    .find(|(d, _)| locals.contains(d))
-                    .unwrap_or(ranked[0])
-            }
+            PlacementPolicy::Declarative => best?,
+            PlacementPolicy::WorstFeasible => worst?,
+            PlacementPolicy::FirstFit => first?,
+            PlacementPolicy::ComputeCentric => best_local.or(best)?,
         };
         self.decisions.push(PlacementDecision {
             compute,
             size,
             dev,
             score,
-            feasible: ranked.len(),
+            feasible,
         });
         Some(dev)
     }

@@ -217,9 +217,32 @@ impl Scheduler {
             .collect()
     }
 
+    /// Best reachable memory bandwidth per compute device (bytes/ns),
+    /// indexed by `ComputeId`. The topology is immutable during a plan,
+    /// so this `O(computes × mems)` scan runs once instead of once per
+    /// `(task, device)` estimate.
+    fn best_bws(topo: &Topology) -> Vec<f64> {
+        topo.compute_ids()
+            .map(|c| {
+                topo.mem_ids()
+                    .filter_map(|m| {
+                        topo.path(c, m).map(|p| topo.mem(m).read_bw_bpns.min(p.bandwidth_bpns))
+                    })
+                    .fold(1.0f64, f64::max)
+            })
+            .collect()
+    }
+
     /// Estimated duration of a task on a device: launch + compute +
-    /// optimistic memory traffic at the device's best reachable bandwidth.
-    fn estimate(topo: &Topology, spec: &JobSpec, task: TaskId, c: ComputeId) -> f64 {
+    /// optimistic memory traffic at the device's best reachable bandwidth
+    /// (precomputed in `bw`, see [`Scheduler::best_bws`]).
+    fn estimate_with(
+        topo: &Topology,
+        bw: &[f64],
+        spec: &JobSpec,
+        task: TaskId,
+        c: ComputeId,
+    ) -> f64 {
         let t = &spec.tasks[task.index()];
         let model = topo.compute(c);
         let exec = model.exec_cost(t.work.class, t.work.elems).as_nanos_f64();
@@ -233,11 +256,7 @@ impl Scheduler {
         // The private-scratch *footprint* is capacity, not traffic — a job
         // with a large working set does not necessarily stream all of it.
         let bytes = input_bytes + t.output_bytes + t.global_scratch;
-        let best_bw = topo
-            .mem_ids()
-            .filter_map(|m| topo.path(c, m).map(|p| topo.mem(m).read_bw_bpns.min(p.bandwidth_bpns)))
-            .fold(1.0f64, f64::max);
-        let mem = bytes as f64 / best_bw;
+        let mem = bytes as f64 / bw[c.index()];
         let base = exec + mem;
         match t.compute {
             ComputePref::Prefer(k) if k != model.kind => base * NON_PREFERRED_PENALTY,
@@ -255,10 +274,11 @@ impl Scheduler {
         spec: &JobSpec,
         task: TaskId,
     ) -> Vec<(ComputeId, f64)> {
+        let bw = Self::best_bws(topo);
         let mut ranked: Vec<(ComputeId, f64)> =
             Self::eligible(topo, spec.tasks[task.index()].compute)
                 .into_iter()
-                .map(|c| (c, Self::estimate(topo, spec, task, c)))
+                .map(|c| (c, Self::estimate_with(topo, &bw, spec, task, c)))
                 .collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         ranked
@@ -276,28 +296,43 @@ impl Scheduler {
             job: JobId,
             spec_idx: usize,
             task: TaskId,
-            eligible: Vec<ComputeId>,
-            /// Estimated duration per eligible device (parallel to
-            /// `eligible`).
+            /// Index into `elig_sets`: tasks sharing a compute
+            /// preference share one eligible-device list.
+            elig: u32,
+            /// Estimated duration per eligible device (parallel to the
+            /// item's eligible list).
             est: Vec<f64>,
             avg: f64,
         }
+        let bw = Self::best_bws(topo);
+        // Distinct compute preferences per batch are few (Any plus a
+        // handful of Prefer/Require kinds): dedup the eligible lists
+        // instead of collecting one Vec per task.
+        let mut elig_sets: Vec<(ComputePref, Vec<ComputeId>)> = Vec::new();
         let mut base: Vec<usize> = Vec::with_capacity(jobs.len());
         let mut items: Vec<Item> = Vec::new();
         for (si, &(job, spec)) in jobs.iter().enumerate() {
             base.push(items.len());
             for ti in 0..spec.tasks.len() {
                 let task = TaskId(ti as u32);
-                let eligible = Self::eligible(topo, spec.tasks[ti].compute);
+                let pref = spec.tasks[ti].compute;
+                let elig = match elig_sets.iter().position(|(p, _)| *p == pref) {
+                    Some(i) => i,
+                    None => {
+                        elig_sets.push((pref, Self::eligible(topo, pref)));
+                        elig_sets.len() - 1
+                    }
+                };
+                let eligible = &elig_sets[elig].1;
                 if eligible.is_empty() {
                     return Err(SchedError::NoEligibleDevice { job, task });
                 }
                 let est: Vec<f64> = eligible
                     .iter()
-                    .map(|&c| Self::estimate(topo, spec, task, c))
+                    .map(|&c| Self::estimate_with(topo, &bw, spec, task, c))
                     .collect();
                 let avg = est.iter().sum::<f64>() / est.len() as f64;
-                items.push(Item { job, spec_idx: si, task, eligible, est, avg });
+                items.push(Item { job, spec_idx: si, task, elig: elig as u32, est, avg });
             }
         }
 
@@ -354,6 +389,8 @@ impl Scheduler {
         // yet placed.
         let mut pending: std::collections::VecDeque<usize> = order.into();
         let mut guard = 0usize;
+        // Reusable per-item scratch for HEFT's finish-time evaluation.
+        let mut fins: Vec<SimTime> = Vec::new();
         while let Some(i) = pending.pop_front() {
             let item = &items[i];
             let (job, spec) = jobs[item.spec_idx];
@@ -369,9 +406,10 @@ impl Scheduler {
                 continue;
             }
             guard = 0;
+            let eligible: &[ComputeId] = &elig_sets[item.elig as usize].1;
 
             let choose_on = |ei: usize, lanes: &[Vec<SimTime>]| -> (usize, SimTime, SimTime) {
-                let c = items[i].eligible[ei];
+                let c = eligible[ei];
                 let ready = preds
                     .iter()
                     .map(|&p| {
@@ -400,12 +438,11 @@ impl Scheduler {
                     // Evaluate each eligible device once (min_by would
                     // recompute per comparison), then min with the same
                     // EFT → least-assigned → id tie-break.
-                    let fins: Vec<SimTime> = (0..items[i].eligible.len())
-                        .map(|ei| choose_on(ei, &lanes).2)
-                        .collect();
-                    (0..items[i].eligible.len())
+                    fins.clear();
+                    fins.extend((0..eligible.len()).map(|ei| choose_on(ei, &lanes).2));
+                    (0..eligible.len())
                         .min_by(|&a, &b| {
-                            let (ca, cb) = (items[i].eligible[a], items[i].eligible[b]);
+                            let (ca, cb) = (eligible[a], eligible[b]);
                             fins[a]
                                 .cmp(&fins[b])
                                 .then(assigned[ca.index()].cmp(&assigned[cb.index()]))
@@ -414,12 +451,12 @@ impl Scheduler {
                         .expect("eligibility checked at collection")
                 }
                 SchedPolicy::RoundRobin => {
-                    let ei = rr_cursor % items[i].eligible.len();
+                    let ei = rr_cursor % eligible.len();
                     rr_cursor += 1;
                     ei
                 }
             };
-            let c = items[i].eligible[ei];
+            let c = eligible[ei];
             let (lane, start, fin) = choose_on(ei, &lanes);
             assigned[c.index()] += 1;
             lanes[c.index()][lane] = fin;

@@ -1,0 +1,107 @@
+//! Shard-aware placement tables.
+//!
+//! The sharded executor routes every task event — `Ready`, `EdgeDone`,
+//! retry re-dispatch — to the event loop that owns the task's *planned*
+//! compute device. That routing sits on the hottest path in the
+//! simulator, so instead of resolving `schedule.entry(job, task)` and
+//! then `shard_map.shard_of_compute(...)` per event, [`ShardTables`]
+//! fuses the two lookups at plan time into one dense
+//! `table[job - base][task] → shard` array, mirroring the layout of
+//! [`Schedule`]'s own index.
+//!
+//! The table is a pure function of the (deterministic) schedule and the
+//! (deterministic) topology partition, so routing itself can never
+//! introduce run-to-run divergence.
+
+use disagg_dataflow::job::JobId;
+use disagg_dataflow::task::TaskId;
+use disagg_hwsim::shard::ShardMap;
+
+use crate::schedule::Schedule;
+
+/// Sentinel for "task not in the schedule".
+const NO_SHARD: u32 = u32::MAX;
+
+/// Dense task → shard routing table derived from a planned
+/// [`Schedule`] and a topology [`ShardMap`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardTables {
+    base_job: u64,
+    /// `rows[job - base_job][task]` → owning shard ([`NO_SHARD`] if the
+    /// task was not planned).
+    rows: Vec<Vec<u32>>,
+    shards: usize,
+}
+
+impl ShardTables {
+    /// Builds the routing table for one planned wave.
+    pub fn build(schedule: &Schedule, map: &ShardMap) -> ShardTables {
+        let base_job = schedule.entries.iter().map(|e| e.job.0).min().unwrap_or(0);
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        for e in &schedule.entries {
+            let row = (e.job.0 - base_job) as usize;
+            if row >= rows.len() {
+                rows.resize(row + 1, Vec::new());
+            }
+            let cols = &mut rows[row];
+            if e.task.index() >= cols.len() {
+                cols.resize(e.task.index() + 1, NO_SHARD);
+            }
+            cols[e.task.index()] = map.shard_of_compute(e.compute) as u32;
+        }
+        ShardTables { base_job, rows, shards: map.shards() }
+    }
+
+    /// Number of shards the table routes to.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning a task's planned compute device.
+    pub fn shard_of(&self, job: JobId, task: TaskId) -> Option<usize> {
+        let row = job.0.checked_sub(self.base_job)? as usize;
+        let &s = self.rows.get(row)?.get(task.index())?;
+        (s != NO_SHARD).then_some(s as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{SchedPolicy, Scheduler};
+    use disagg_dataflow::job::JobBuilder;
+    use disagg_dataflow::task::TaskSpec;
+    use disagg_hwsim::compute::WorkClass;
+    use disagg_hwsim::presets::disaggregated_rack;
+
+    #[test]
+    fn table_agrees_with_schedule_and_partition() {
+        let (topo, _) = disaggregated_rack(3, 16, 3, 128);
+        let map = ShardMap::partition(&topo, 4);
+        let mut job = JobBuilder::new("route");
+        let ids: Vec<_> = (0..6)
+            .map(|i| {
+                job.task(
+                    TaskSpec::new(format!("t{i}"))
+                        .work(WorkClass::Scalar, 1_000_000)
+                        .output_bytes(4096),
+                )
+            })
+            .collect();
+        job.chain(&ids);
+        let spec = job.build().unwrap();
+        let sched = Scheduler::new(SchedPolicy::Heft)
+            .plan(&topo, &[(JobId(7), &spec)])
+            .unwrap();
+        let tables = ShardTables::build(&sched, &map);
+        assert_eq!(tables.shards(), map.shards());
+        for e in &sched.entries {
+            assert_eq!(
+                tables.shard_of(e.job, e.task),
+                Some(map.shard_of_compute(e.compute)),
+            );
+        }
+        assert_eq!(tables.shard_of(JobId(6), TaskId(0)), None, "below base job");
+        assert_eq!(tables.shard_of(JobId(7), TaskId(99)), None, "unplanned task");
+    }
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Shard-invariance smoke: the driver's stress runs must report identical
+# task and event counts at --shards 1 and --shards 4. Wall-clock and the
+# rates derived from it are the only fields allowed to differ — sharding
+# changes how the simulation is driven, never what it computes (the
+# equivalence goldens pin the full trace; this checks the packaged
+# binary end to end).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${EXP_DRIVER:-target/release/exp_driver}
+if [ ! -x "$BIN" ]; then
+  echo "==> cargo build --release --offline -p disagg-bench --bin exp_driver" >&2
+  cargo build --release --offline -p disagg-bench --bin exp_driver >&2
+  BIN=target/release/exp_driver
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BIN" --quick --thru-only --no-scaling --shards 1 --json "$tmp/s1.json" >/dev/null 2>&1
+"$BIN" --quick --thru-only --no-scaling --shards 4 --json "$tmp/s4.json" >/dev/null 2>&1
+
+python3 - "$tmp/s1.json" "$tmp/s4.json" <<'PY'
+import json, sys
+a = json.load(open(sys.argv[1]))["throughput"]
+b = json.load(open(sys.argv[2]))["throughput"]
+assert a and b, "throughput section is empty"
+assert len(a) == len(b), f"row counts differ: {len(a)} vs {len(b)}"
+for ra, rb in zip(a, b):
+    for key in ("name", "tasks", "events"):
+        assert ra[key] == rb[key], (
+            f"{ra['name']}: {key} diverged between shard counts "
+            f"({ra[key]} vs {rb[key]})"
+        )
+print(f"{len(a)} stress config(s) shard-invariant: tasks+events identical at 1 vs 4 shards")
+PY
