@@ -134,7 +134,7 @@ fn events_per_sec() {
     let (jobs, layers, width) = (8, 16, 16);
     let mut last = (0usize, 0u64, std::time::Duration::ZERO);
     let stats = bench_named("executor/rack_stress_8x16x16", opts, || {
-        last = driver::stress_run(jobs, layers, width);
+        last = driver::stress_run(jobs, layers, width, 1);
     });
     let (tasks, events, _) = last;
     let eps = events as f64 / stats.min.as_secs_f64();
@@ -165,7 +165,7 @@ fn trace_overhead() {
         let (topo, _rack) = disaggregated_rack(4, 16, 4, 256);
         let mut rt = Runtime::new(topo, config);
         let batch = driver::stress_jobs(jobs, layers, width);
-        rt.run(batch).expect("stress batch runs").events
+        rt.execute(batch).expect("stress batch runs").events
     };
 
     let mut events = 0u64;
@@ -200,7 +200,7 @@ fn end_to_end() {
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::default());
         black_box(
-            rt.submit(hospital_job(HospitalConfig {
+            rt.execute(hospital_job(HospitalConfig {
                 frames: 2,
                 ..HospitalConfig::default()
             }))

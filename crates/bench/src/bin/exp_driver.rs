@@ -177,6 +177,25 @@ fn main() {
             })
             .collect()
     };
+    let throughputs: Vec<driver::Throughput> = if no_thru {
+        throughputs
+    } else {
+        // The serving mix rides along in the same guarded format.
+        let mut all = throughputs;
+        let t = driver::measure_serving_throughput(reps, quick);
+        eprintln!(
+            "throughput {} ({} shard(s)): {} tasks, {} events, {:.4}s → {:.0} events/sec ({:.0} tasks/sec)",
+            t.name,
+            shards,
+            t.tasks,
+            t.events,
+            t.wall.as_secs_f64(),
+            t.events_per_sec(),
+            t.tasks_per_sec()
+        );
+        all.push(t);
+        all
+    };
 
     // Shard-scaling sweep: the largest stress configuration driven at
     // 1/2/4/8 shards (quick mode shrinks the workload and the counts).
@@ -210,7 +229,22 @@ fn main() {
         } else {
             Vec::new()
         };
-        let json = driver::bench_json(&results, &throughputs, &scaling, &chaos, quick, threads);
+        // Like chaos, the serving section is virtual-time-only and
+        // byte-identical between runs.
+        let serving = if !thru_only && (only.is_empty() || only.iter().any(|o| o == "serving")) {
+            Some(driver::serving_record(quick))
+        } else {
+            None
+        };
+        let json = driver::bench_json(
+            &results,
+            &throughputs,
+            &scaling,
+            &chaos,
+            serving.as_ref(),
+            quick,
+            threads,
+        );
         match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes())) {
             Ok(()) => eprintln!("wrote {json_path}"),
             Err(e) => {

@@ -1,0 +1,6 @@
+//! Regenerates the serving-sweep artifact. Pass `--quick` for a fast run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", disagg_bench::exp::serving::run(quick).render());
+}

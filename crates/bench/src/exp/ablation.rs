@@ -70,7 +70,7 @@ pub fn measure(quick: bool) -> Vec<AblationRow> {
         .map(|(name, config)| {
             let (topo, _) = single_server();
             let mut rt = Runtime::new(topo, config);
-            let report = rt.run(batch(quick)).expect("batch runs");
+            let report = rt.execute(batch(quick)).expect("batch runs");
             AblationRow {
                 config: name,
                 makespan: report.makespan,

@@ -132,7 +132,7 @@ fn run_once(jobs: Vec<JobSpec>, faults: FaultInjector) -> ChaosRow {
     let (topo, _rack) = disaggregated_rack(4, 16, 4, 256);
     let config = RuntimeConfig::traced().with_faults(faults).with_recovery(policy());
     let mut rt = Runtime::new(topo, config);
-    let report = rt.run(jobs).expect("chaos sweep point completes within its retry budget");
+    let report = rt.execute(jobs).expect("chaos sweep point completes within its retry budget");
     let (mut retries, mut detected, mut reconstructs) = (0u64, 0u64, 0u64);
     for e in rt.trace().events() {
         match e {

@@ -111,7 +111,7 @@ fn run_waves(
             .enumerate()
             .map(|(i, &d)| demand_job(format!("job{i}"), d, p.traffic))
             .collect();
-        let report = rt.run(jobs).expect("wave runs");
+        let report = rt.execute(jobs).expect("wave runs");
         total_makespan += report.makespan;
         let used: u64 = report
             .devices

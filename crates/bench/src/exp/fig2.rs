@@ -22,7 +22,7 @@ pub fn run(quick: bool) -> Table {
     let exp = expected(&cfg);
     let (topo, _) = single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-    let report = rt.submit(hospital_job(cfg)).expect("hospital job runs");
+    let report = rt.execute(hospital_job(cfg)).expect("hospital job runs");
 
     let mut t = Table::new(
         "fig2",

@@ -60,7 +60,7 @@ fn pipeline_job(n: usize, buffer: u64) -> JobSpec {
 fn run_once(policy: HandoverPolicy, n: usize, buffer: u64) -> (u64, SimDuration) {
     let (topo, _) = single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_handover(policy));
-    let report = rt.submit(pipeline_job(n, buffer)).expect("pipeline runs");
+    let report = rt.execute(pipeline_job(n, buffer)).expect("pipeline runs");
     let moved = rt
         .trace()
         .events()

@@ -12,6 +12,7 @@ pub mod ftol;
 pub mod naive;
 pub mod numa;
 pub mod online;
+pub mod serving;
 pub mod table1;
 pub mod table2;
 pub mod stream;
@@ -42,6 +43,7 @@ pub fn all() -> Vec<Experiment> {
         ("online", online::run),
         ("ablation", ablation::run),
         ("chaos", chaos::run),
+        ("serving", serving::run),
     ]
 }
 
@@ -52,7 +54,7 @@ mod tests {
         let ids: Vec<&str> = super::all().iter().map(|(id, _)| *id).collect();
         for id in [
             "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "numa", "naive",
-            "async", "ftol", "tiering", "stream", "online", "ablation", "chaos",
+            "async", "ftol", "tiering", "stream", "online", "ablation", "chaos", "serving",
         ] {
             assert!(ids.contains(&id), "missing experiment {id}");
         }

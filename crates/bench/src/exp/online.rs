@@ -63,7 +63,7 @@ fn mean_sojourn(config: RuntimeConfig, jobs: usize, gap_ns: u64, quick: bool) ->
         })
         .collect();
     let offsets: Vec<SimDuration> = arrivals.iter().map(|(o, _)| *o).collect();
-    let report = rt.run_arrivals(arrivals).expect("stream runs");
+    let report = rt.execute(arrivals).expect("stream runs");
     // Sojourn per job: last task finish - arrival.
     let mut total = SimDuration::ZERO;
     for (j, &offset) in offsets.iter().enumerate() {

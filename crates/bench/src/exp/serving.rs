@@ -1,0 +1,333 @@
+//! E17 — serving sweep: open-loop multi-tenant traffic against the
+//! rack, offered load swept to find the saturation knee.
+//!
+//! Each sweep point runs the same seeded request stream (Poisson
+//! arrivals, Zipf tenant mix, per-tenant quotas and SLOs) at a
+//! different mean inter-arrival gap, expressed as a multiple of the
+//! calibrated mean service time. Light load leaves the rack idle
+//! between requests; past the knee, queueing blows the p99 up. Every
+//! number is virtual-time-only, so the sweep — and the `serving`
+//! section of `BENCH_disagg.json` it feeds — is byte-identical across
+//! runs and shard counts.
+
+use disagg_core::prelude::{Runtime, RuntimeConfig};
+use disagg_dataflow::{JobBuilder, TaskSpec};
+use disagg_hwsim::compute::WorkClass;
+use disagg_hwsim::presets::disaggregated_rack;
+use disagg_hwsim::time::SimDuration;
+use disagg_serve::{ArrivalProcess, Request, ServeConfig, ServeLayer, Slo};
+
+use crate::{fmt_dur, Table};
+
+/// One offered-load sweep point.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Offered-load label relative to service capacity ("0.25x", ...).
+    pub load: &'static str,
+    /// Mean inter-arrival gap driven at this point.
+    pub mean_gap: SimDuration,
+    /// Requests offered / admitted / rejected.
+    pub offered: usize,
+    /// Requests admitted past the per-tenant quotas.
+    pub admitted: usize,
+    /// Requests rejected by quota admission.
+    pub rejected: usize,
+    /// Virtual serving horizon.
+    pub makespan: SimDuration,
+    /// Median sojourn across admitted requests.
+    pub p50: SimDuration,
+    /// Tail sojourn across admitted requests.
+    pub p99: SimDuration,
+    /// Exact peak pooled-memory utilization during the run.
+    pub peak_util: f64,
+}
+
+/// One tenant's outcome at the saturation knee.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    /// Tenant index (Zipf rank; 0 = hottest).
+    pub tenant: usize,
+    /// Requests the tenant offered.
+    pub offered: usize,
+    /// Requests admitted.
+    pub admitted: usize,
+    /// Requests rejected by its quota.
+    pub rejected: usize,
+    /// Median sojourn.
+    pub p50: SimDuration,
+    /// Tail sojourn.
+    pub p99: SimDuration,
+    /// Whether the tenant's SLO held at the knee.
+    pub slo_met: bool,
+}
+
+/// The full serving record: the sweep, where it saturates, and the
+/// per-tenant + utilization detail at that point.
+#[derive(Debug, Clone)]
+pub struct ServingRecord {
+    /// Tenants in the mix.
+    pub tenants: usize,
+    /// Requests per sweep point.
+    pub requests: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// The offered-load sweep, lightest first.
+    pub sweep: Vec<ServingRow>,
+    /// Index into `sweep` of the saturation knee: the first point whose
+    /// p99 exceeds twice the lightest-load p99 (the heaviest point when
+    /// none does).
+    pub knee: usize,
+    /// Per-tenant outcomes at the knee.
+    pub knee_tenants: Vec<TenantRow>,
+    /// Pooled-memory utilization over the knee run as
+    /// `(offset, fraction)` samples.
+    pub util_curve: Vec<(SimDuration, f64)>,
+}
+
+/// The heterogeneous template mix: an interactive point lookup, a small
+/// analytics fan-out, and a sharded bulk ingest. Work jitters per
+/// request off the request seed.
+pub fn templates() -> ServeLayer {
+    let mut layer = ServeLayer::new();
+    layer.register("interactive", |req: &Request| {
+        let mut j = JobBuilder::new("interactive");
+        let a = j.task(
+            TaskSpec::new("lookup")
+                .work(WorkClass::Scalar, 20_000 + req.seed % 4_000)
+                .output_bytes(8 << 20),
+        );
+        let b = j.task(TaskSpec::new("render").work(WorkClass::Scalar, 10_000));
+        j.edge(a, b);
+        j.build().expect("interactive template is a valid DAG")
+    });
+    layer.register("analytics", |req: &Request| {
+        let mut j = JobBuilder::new("analytics");
+        let scan = j.task(
+            TaskSpec::new("scan")
+                .work(WorkClass::Vector, 40_000 + req.seed % 8_000)
+                .output_bytes(64 << 20),
+        );
+        let agg = j.task(TaskSpec::new("agg").work(WorkClass::Vector, 20_000).output_bytes(8 << 20));
+        for i in 0..3 {
+            let part = j.task(
+                TaskSpec::new(format!("part{i}"))
+                    .work(WorkClass::Vector, 15_000)
+                    .output_bytes(16 << 20),
+            );
+            j.edge(scan, part);
+            j.edge(part, agg);
+        }
+        j.build().expect("analytics template is a valid DAG")
+    });
+    layer.register("ingest", |req: &Request| {
+        let mut j = JobBuilder::new("ingest");
+        let recv = j.task(
+            TaskSpec::new("recv")
+                .work(WorkClass::Scalar, 15_000)
+                .output_bytes(128 << 20),
+        );
+        let store = j.task(TaskSpec::new("store").work(WorkClass::Scalar, 8_000));
+        for i in 0..4 {
+            let shard = j.task(
+                TaskSpec::new(format!("shard{i}"))
+                    .work(WorkClass::Vector, 25_000 + req.seed % 5_000)
+                    .output_bytes(32 << 20),
+            );
+            j.edge(recv, shard);
+            j.edge(shard, store);
+        }
+        j.build().expect("ingest template is a valid DAG")
+    });
+    layer
+}
+
+/// Calibrates the mean service time of the template mix: each template
+/// instantiated once with a fixed representative request and run alone
+/// on the same rack shape the sweep uses.
+fn mean_service() -> SimDuration {
+    let layer = templates();
+    let mut total = SimDuration::ZERO;
+    for ti in 0..layer.len() {
+        let req = Request {
+            index: 0,
+            tenant: ti,
+            arrival: SimDuration::ZERO,
+            seed: 0x5eed ^ ti as u64,
+        };
+        let job = layer.instantiate(ti, &req);
+        let mut rt = Runtime::new(disaggregated_rack(4, 8, 2, 32).0, RuntimeConfig::default());
+        total += rt.execute(job).expect("calibration run").makespan;
+    }
+    SimDuration(total.0 / layer.len().max(1) as u64)
+}
+
+/// Offered-load levels as (label, gap divisor): `mean_gap = svc * 4 /
+/// divisor`, so "1.00x" drives one request per mean service time.
+fn levels(quick: bool) -> &'static [(&'static str, u64)] {
+    if quick {
+        &[("0.50x", 2), ("2.00x", 8), ("8.00x", 32)]
+    } else {
+        &[("0.25x", 1), ("0.50x", 2), ("1.00x", 4), ("2.00x", 8), ("4.00x", 16), ("8.00x", 32)]
+    }
+}
+
+/// Runs the sweep and extracts the knee.
+pub fn measure(quick: bool) -> ServingRecord {
+    let svc = mean_service();
+    let tenants = 6;
+    let requests = if quick { 48 } else { 160 };
+    let seed = 0xd15a66_u64;
+    // Quota: 512 MiB per tenant — two concurrent ingest-sized requests;
+    // generous at light load, binding for the ingest tenants past the
+    // knee. The sum of quotas (3 GiB) is also the utilization
+    // denominator in the sweep's util curve.
+    let quota = Some(512u64 << 20);
+    let slo = Some(Slo { p50: SimDuration(svc.0 * 4), p99: SimDuration(svc.0 * 16) });
+
+    let mut sweep = Vec::new();
+    let mut reports = Vec::new();
+    for &(label, divisor) in levels(quick) {
+        let mean_gap = SimDuration((svc.0 * 4) / divisor);
+        let cfg = ServeConfig {
+            arrivals: ArrivalProcess::Poisson { mean_gap },
+            requests,
+            tenants,
+            zipf_theta: 1.0,
+            seed,
+            quota,
+            slo,
+            ..ServeConfig::default()
+        };
+        let mut rt = Runtime::new(disaggregated_rack(4, 8, 2, 32).0, RuntimeConfig::traced());
+        let report = templates().run(&mut rt, &cfg).expect("sweep point serves");
+        sweep.push(ServingRow {
+            load: label,
+            mean_gap,
+            offered: report.offered,
+            admitted: report.admitted,
+            rejected: report.rejected,
+            makespan: report.makespan,
+            p50: report.p50(),
+            p99: report.p99(),
+            peak_util: report.peak_util,
+        });
+        reports.push(report);
+    }
+
+    // The knee: first point whose p99 more than doubles the lightest
+    // load's p99 — queueing has taken over.
+    let base_p99 = sweep.first().map(|r| r.p99.0).unwrap_or(0);
+    let knee = sweep
+        .iter()
+        .position(|r| r.p99.0 > base_p99 * 2)
+        .unwrap_or(sweep.len().saturating_sub(1));
+
+    let knee_report = &reports[knee];
+    let knee_tenants = knee_report
+        .tenants
+        .iter()
+        .map(|t| TenantRow {
+            tenant: t.tenant,
+            offered: t.offered,
+            admitted: t.admitted,
+            rejected: t.rejected,
+            p50: t.p50,
+            p99: t.p99,
+            slo_met: t.slo_met,
+        })
+        .collect();
+    let util_curve = knee_report
+        .util_curve
+        .iter()
+        .map(|s| (s.at, s.frac))
+        .collect();
+
+    ServingRecord { tenants, requests, seed, sweep, knee, knee_tenants, util_curve }
+}
+
+/// The saturation-load serving config the throughput guard wall-clocks
+/// (`driver::measure_serving_throughput`). Arrivals ~8x denser than the
+/// mean service time keep the executor busy end to end without piling
+/// up hundreds of concurrent bulk transfers (which would stress the
+/// contention ledger, not the serving path).
+pub fn saturated_config(requests: usize) -> ServeConfig {
+    ServeConfig {
+        arrivals: ArrivalProcess::Poisson { mean_gap: SimDuration::from_micros(75) },
+        requests,
+        tenants: 6,
+        zipf_theta: 1.0,
+        seed: 0xd15a66,
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs E17.
+pub fn run(quick: bool) -> Table {
+    let rec = measure(quick);
+    let mut t = Table::new(
+        "serving",
+        "Serving sweep: open-loop Poisson/Zipf traffic, offered load vs. latency",
+        &["Load", "Gap", "Offered", "Admitted", "Rejected", "p50", "p99", "PeakUtil", "Knee"],
+    );
+    for (i, r) in rec.sweep.iter().enumerate() {
+        t.row(vec![
+            r.load.to_string(),
+            fmt_dur(r.mean_gap),
+            r.offered.to_string(),
+            r.admitted.to_string(),
+            r.rejected.to_string(),
+            fmt_dur(r.p50),
+            fmt_dur(r.p99),
+            format!("{:.4}", r.peak_util),
+            if i == rec.knee { "<-".to_string() } else { String::new() },
+        ]);
+    }
+    let met = rec.knee_tenants.iter().filter(|t| t.slo_met).count();
+    t.note(format!(
+        "{} tenants (Zipf 1.0), {} requests/point, seed {:#x}; load = requests per mean service time",
+        rec.tenants, rec.requests, rec.seed
+    ));
+    t.note(format!(
+        "knee at {} ({} of {} tenants met their SLO there); all latencies are virtual time, so the sweep is bit-for-bit deterministic",
+        rec.sweep[rec.knee].load,
+        met,
+        rec.knee_tenants.len()
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_saturates_as_load_grows() {
+        let rec = measure(true);
+        assert_eq!(rec.sweep.len(), levels(true).len());
+        let first = &rec.sweep[0];
+        let last = rec.sweep.last().unwrap();
+        assert!(
+            last.p99 >= first.p99,
+            "heavier load cannot shrink the tail: {:?} vs {:?}",
+            last.p99,
+            first.p99
+        );
+        assert!(rec.knee < rec.sweep.len());
+        assert_eq!(rec.knee_tenants.len(), rec.tenants);
+        assert!(!rec.util_curve.is_empty(), "traced runs carry a utilization curve");
+    }
+
+    #[test]
+    fn record_is_deterministic() {
+        let a = measure(true);
+        let b = measure(true);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn table_marks_exactly_one_knee() {
+        let t = run(true);
+        let marks = t.rows.iter().filter(|r| r.last().map(String::as_str) == Some("<-")).count();
+        assert_eq!(marks, 1);
+    }
+}

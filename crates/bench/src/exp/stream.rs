@@ -62,7 +62,7 @@ pub fn measure(quick: bool) -> Vec<ChainPoint> {
             let run = |streaming| {
                 let (topo, _) = single_server();
                 let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-                rt.submit(chain_job(stages, streaming, elems))
+                rt.execute(chain_job(stages, streaming, elems))
                     .expect("chain runs")
                     .makespan
             };

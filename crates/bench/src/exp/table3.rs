@@ -64,7 +64,7 @@ pub fn measure(quick: bool) -> Vec<AppRow> {
             let run = |policy: PlacementPolicy| {
                 let (topo, _) = single_server();
                 let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_placement(policy));
-                rt.submit(job_for(app, quick)).expect("workload runs").makespan
+                rt.execute(job_for(app, quick)).expect("workload runs").makespan
             };
             AppRow {
                 app,

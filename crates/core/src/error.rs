@@ -58,6 +58,14 @@ pub enum DisaggError {
         /// Attempts made (initial execution + retries).
         attempts: u32,
     },
+    /// A [`Submission`](crate::Submission) was malformed: the arrival
+    /// offsets do not line up one-per-job.
+    Submission {
+        /// Number of jobs in the submission.
+        jobs: usize,
+        /// Number of arrival offsets attached.
+        offsets: usize,
+    },
     /// A task body returned an error.
     Task {
         /// The job.
@@ -123,6 +131,12 @@ impl std::fmt::Display for DisaggError {
                 write!(
                     f,
                     "{job}/{task} kept failing: retry budget exhausted after {attempts} attempts"
+                )
+            }
+            DisaggError::Submission { jobs, offsets } => {
+                write!(
+                    f,
+                    "malformed submission: {jobs} jobs but {offsets} arrival offsets"
                 )
             }
             DisaggError::Task { job, task, name, error } => {

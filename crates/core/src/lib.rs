@@ -33,7 +33,7 @@
 //! }));
 //! job.edge(produce, consume);
 //!
-//! let report = rt.submit(job.build().unwrap()).unwrap();
+//! let report = rt.execute(Submission::job(job.build().unwrap())).unwrap();
 //! assert_eq!(report.ownership_transfers, 1, "handover was zero-copy");
 //! assert!(report.placements_clean());
 //! ```
@@ -44,12 +44,14 @@ pub mod executor;
 pub mod profile;
 pub mod report;
 pub mod runtime;
+pub mod submission;
 
 pub use config::{RecoveryPolicy, RuntimeConfig};
 pub use error::{DisaggError, RuntimeError};
 pub use profile::{RunProfile, TaskProfile};
 pub use report::{DeviceSummary, RunReport, TaskReport};
 pub use runtime::Runtime;
+pub use submission::{AdmissionPolicy, Submission};
 
 /// Re-export of the observability crate (observers, metrics, timelines,
 /// exporters), so `disagg_core::obs::*` is the one-stop surface.
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use crate::profile::{RunProfile, TaskProfile};
     pub use crate::report::{DeviceSummary, RunReport, TaskReport};
     pub use crate::runtime::Runtime;
+    pub use crate::submission::{AdmissionPolicy, Submission};
     pub use disagg_dataflow::ctx::TaskCtx;
     pub use disagg_dataflow::job::{JobBuilder, JobId, JobSpec};
     pub use disagg_dataflow::task::{TaskError, TaskId, TaskProps, TaskSpec};

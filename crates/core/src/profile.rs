@@ -233,7 +233,7 @@ mod tests {
             ctx.acc.read(r, 0, &mut buf, AccessPattern::Random)?;
             Ok(())
         }));
-        rt.submit(job.build().unwrap()).unwrap()
+        rt.execute(job.build().unwrap()).unwrap()
     }
 
     #[test]

@@ -39,6 +39,7 @@ use disagg_sched::placement::PlacementEngine;
 
 use crate::config::RuntimeConfig;
 use crate::report::RunReport;
+use crate::submission::{AdmissionPolicy, Submission};
 
 pub use crate::error::{DisaggError, RuntimeError};
 
@@ -165,14 +166,12 @@ impl Runtime {
         Ok(done)
     }
 
-    /// Convenience: run a single job.
-    pub fn submit(&mut self, job: JobSpec) -> Result<RunReport, RuntimeError> {
-        self.run(vec![job])
-    }
-
     /// Predicted memory footprint of a job: every declared region, all
     /// assumed live at once (the conservative bound admission needs).
-    fn job_footprint(spec: &JobSpec) -> u64 {
+    /// Public so higher layers (e.g. the serving layer's per-tenant
+    /// quotas) charge the same estimate the runtime's own admission
+    /// waves use.
+    pub fn predicted_footprint(spec: &JobSpec) -> u64 {
         spec.global_state_bytes
             + spec
                 .tasks
@@ -181,27 +180,53 @@ impl Runtime {
                 .sum::<u64>()
     }
 
-    /// Runs a batch of jobs concurrently and returns the report.
+    /// Executes a [`Submission`] — the one entry point for every
+    /// submission shape.
     ///
-    /// With [`RuntimeConfig::admission_watermark`] set, the batch is
-    /// split into admission waves: jobs whose combined predicted
-    /// footprint would overflow the watermark wait for the previous wave
-    /// to finish — resource-aware scheduling instead of a hard placement
-    /// failure.
-    pub fn run(&mut self, jobs: Vec<JobSpec>) -> Result<RunReport, RuntimeError> {
-        let report = self.run_waves(jobs)?;
+    /// A closed batch runs at the current virtual time; with arrival
+    /// offsets attached, each job's tasks may not start before its
+    /// offset — an open stream of submissions rather than a closed
+    /// batch. Admission control (the submission's
+    /// [`AdmissionPolicy`] override, falling back to
+    /// [`RuntimeConfig::admission_watermark`]) applies to both shapes:
+    /// jobs whose combined predicted footprint would overflow the
+    /// watermark wait for the previous wave to finish, with arrival
+    /// offsets preserved across waves — resource-aware scheduling
+    /// instead of a hard placement failure.
+    pub fn execute(&mut self, sub: impl Into<Submission>) -> Result<RunReport, RuntimeError> {
+        let Submission { jobs, offsets, admission } = sub.into();
+        if let Some(offs) = &offsets {
+            if offs.len() != jobs.len() {
+                return Err(DisaggError::Submission {
+                    jobs: jobs.len(),
+                    offsets: offs.len(),
+                });
+            }
+        }
+        let n = jobs.len();
+        let offsets = offsets.unwrap_or_else(|| vec![SimDuration::ZERO; n]);
+        let watermark = match admission {
+            Some(AdmissionPolicy::Open) => None,
+            Some(AdmissionPolicy::Watermark(w)) => Some(w),
+            None => self.config.admission_watermark,
+        };
+        let report = self.run_waves(jobs, offsets, watermark)?;
         // Online reconstruction: heal persistent regions whose device
-        // died during the batch (a no-op without scheduled faults).
+        // died during the run (a no-op without scheduled faults).
         if !self.config.faults.is_empty() {
             self.heal_failed_persistent()?;
         }
         Ok(report)
     }
 
-    fn run_waves(&mut self, jobs: Vec<JobSpec>) -> Result<RunReport, RuntimeError> {
-        let Some(watermark) = self.config.admission_watermark else {
-            let n = jobs.len();
-            return crate::executor::run_wave(self, jobs, vec![SimDuration::ZERO; n]);
+    fn run_waves(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        offsets: Vec<SimDuration>,
+        watermark: Option<f64>,
+    ) -> Result<RunReport, RuntimeError> {
+        let Some(watermark) = watermark else {
+            return crate::executor::run_wave(self, jobs, offsets);
         };
         let free: u64 = self
             .topo
@@ -210,48 +235,66 @@ impl Runtime {
             .sum();
         let budget = (free as f64 * watermark.clamp(0.05, 1.0)) as u64;
 
+        // Arrival offsets are anchored at submission time; a job held
+        // back to a later wave keeps its *absolute* arrival, re-expressed
+        // relative to that wave's start (zero once the wave starts after
+        // the arrival — the job was ready, admission was the gate).
+        let t0 = self.clock;
         let mut combined = RunReport::default();
         let mut wave: Vec<JobSpec> = Vec::new();
+        let mut wave_offsets: Vec<SimDuration> = Vec::new();
         let mut wave_bytes = 0u64;
-        let mut queue: std::collections::VecDeque<JobSpec> = jobs.into();
-        while let Some(job) = queue.pop_front() {
-            let fp = Self::job_footprint(&job);
+        let mut queue: std::collections::VecDeque<(JobSpec, SimDuration)> =
+            jobs.into_iter().zip(offsets).collect();
+        while let Some((job, offset)) = queue.pop_front() {
+            let fp = Self::predicted_footprint(&job);
             if !wave.is_empty() && wave_bytes + fp > budget {
-                let n = wave.len();
-                let report = crate::executor::run_wave(
-                    self,
-                    std::mem::take(&mut wave),
-                    vec![SimDuration::ZERO; n],
-                )?;
+                let start = self.clock;
+                let offs: Vec<SimDuration> =
+                    wave_offsets.drain(..).map(|o| (t0 + o) - start).collect();
+                let report =
+                    crate::executor::run_wave(self, std::mem::take(&mut wave), offs)?;
                 merge_reports(&mut combined, report);
                 wave_bytes = 0;
             }
             wave_bytes += fp;
             wave.push(job);
+            wave_offsets.push(offset);
         }
         if !wave.is_empty() {
-            let n = wave.len();
-            let report = crate::executor::run_wave(self, wave, vec![SimDuration::ZERO; n])?;
+            let start = self.clock;
+            let offs: Vec<SimDuration> =
+                wave_offsets.drain(..).map(|o| (t0 + o) - start).collect();
+            let report = crate::executor::run_wave(self, wave, offs)?;
             merge_reports(&mut combined, report);
         }
         Ok(combined)
     }
 
+    /// Convenience: run a single job.
+    #[deprecated(note = "use `Runtime::execute(Submission::job(job))`")]
+    pub fn submit(&mut self, job: JobSpec) -> Result<RunReport, RuntimeError> {
+        self.execute(Submission::job(job))
+    }
+
+    /// Runs a batch of jobs concurrently and returns the report.
+    #[deprecated(note = "use `Runtime::execute(Submission::batch(jobs))`")]
+    pub fn run(&mut self, jobs: Vec<JobSpec>) -> Result<RunReport, RuntimeError> {
+        self.execute(Submission::batch(jobs))
+    }
+
     /// Runs jobs that *arrive over time*: each job's tasks may not start
     /// before its arrival offset (relative to the current virtual time).
-    /// Models an online stream of submissions — "dataflow systems that
-    /// serve thousands of jobs in parallel" — rather than a closed batch.
-    /// Admission control does not apply; arrivals are their own pacing.
+    /// Admission control composes with arrivals exactly as in
+    /// [`Runtime::execute`]: with a configured watermark, an arrival
+    /// stream too big for the pool degrades into admission waves that
+    /// preserve each job's absolute arrival.
+    #[deprecated(note = "use `Runtime::execute(Submission::arriving(arrivals))`")]
     pub fn run_arrivals(
         &mut self,
         arrivals: Vec<(SimDuration, JobSpec)>,
     ) -> Result<RunReport, RuntimeError> {
-        let (offsets, jobs): (Vec<_>, Vec<_>) = arrivals.into_iter().unzip();
-        let report = crate::executor::run_wave(self, jobs, offsets)?;
-        if !self.config.faults.is_empty() {
-            self.heal_failed_persistent()?;
-        }
-        Ok(report)
+        self.execute(Submission::arriving(arrivals))
     }
 
     /// Modelled repair arithmetic for online reconstruction, mirroring

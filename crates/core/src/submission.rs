@@ -1,0 +1,173 @@
+//! The unified submission API.
+//!
+//! The runtime used to expose three overlapping entry points — `submit`
+//! (one job), `run` (a batch with optional admission waves), and
+//! `run_arrivals` (a batch whose jobs arrive over virtual time, no
+//! admission). A [`Submission`] folds all three into one builder:
+//!
+//! ```
+//! use disagg_core::prelude::*;
+//!
+//! let (topo, _ids) = disagg_hwsim::presets::single_server();
+//! let mut rt = Runtime::new(topo, RuntimeConfig::default());
+//!
+//! let mk = |name: &str| {
+//!     let mut j = JobBuilder::new(name);
+//!     j.task(TaskSpec::new("t").work(WorkClass::Scalar, 10_000));
+//!     j.build().unwrap()
+//! };
+//!
+//! // A closed batch, admitted in memory-aware waves:
+//! let report = rt
+//!     .execute(Submission::batch(vec![mk("a"), mk("b")]).admission(AdmissionPolicy::Watermark(0.8)))
+//!     .unwrap();
+//! assert_eq!(report.tasks.len(), 2);
+//!
+//! // An open arrival stream — arrivals and admission now compose.
+//! let report = rt
+//!     .execute(
+//!         Submission::batch(vec![mk("c"), mk("d")])
+//!             .arrivals(vec![SimDuration::ZERO, SimDuration::from_micros(5)]),
+//!     )
+//!     .unwrap();
+//! assert_eq!(report.tasks.len(), 2);
+//! ```
+//!
+//! The old methods survive as thin deprecated shims over
+//! [`Runtime::execute`](crate::Runtime::execute), so applications can
+//! migrate incrementally.
+
+use disagg_dataflow::job::JobSpec;
+use disagg_hwsim::time::SimDuration;
+
+/// How a submission's jobs are admitted against pool capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// Admit every job at once; an infeasible batch fails placement.
+    Open,
+    /// Memory-aware admission: split into waves so each wave's
+    /// *predicted* footprint stays below this fraction of the pool's
+    /// free capacity (clamped to `[0.05, 1.0]` at execution time).
+    Watermark(f64),
+}
+
+/// One unit of work handed to [`Runtime::execute`](crate::Runtime::execute):
+/// a batch of jobs, optional per-job arrival offsets, and an optional
+/// admission-policy override.
+///
+/// Built with [`Submission::batch`] / [`Submission::job`] /
+/// [`Submission::arriving`] and refined with the builder methods. When
+/// no [`AdmissionPolicy`] is set, the runtime's configured
+/// [`admission_watermark`](crate::RuntimeConfig::admission_watermark)
+/// applies — to arrival streams just like to closed batches.
+#[derive(Debug)]
+pub struct Submission {
+    pub(crate) jobs: Vec<JobSpec>,
+    pub(crate) offsets: Option<Vec<SimDuration>>,
+    pub(crate) admission: Option<AdmissionPolicy>,
+}
+
+impl Submission {
+    /// A closed batch: every job arrives at the current virtual time.
+    pub fn batch(jobs: Vec<JobSpec>) -> Submission {
+        Submission { jobs, offsets: None, admission: None }
+    }
+
+    /// A single job (the old `submit` shape).
+    pub fn job(job: JobSpec) -> Submission {
+        Submission::batch(vec![job])
+    }
+
+    /// An arrival stream given as `(offset, job)` pairs (the old
+    /// `run_arrivals` shape): each job's tasks may not start before its
+    /// offset relative to the current virtual time.
+    pub fn arriving(arrivals: Vec<(SimDuration, JobSpec)>) -> Submission {
+        let (offsets, jobs): (Vec<_>, Vec<_>) = arrivals.into_iter().unzip();
+        Submission { jobs, offsets: Some(offsets), admission: None }
+    }
+
+    /// Attaches per-job arrival offsets (must be one per job; checked
+    /// at execution time).
+    pub fn arrivals(mut self, offsets: Vec<SimDuration>) -> Submission {
+        self.offsets = Some(offsets);
+        self
+    }
+
+    /// Overrides the runtime's admission policy for this submission.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Submission {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Number of jobs in the submission.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the submission carries no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+impl From<JobSpec> for Submission {
+    fn from(job: JobSpec) -> Submission {
+        Submission::job(job)
+    }
+}
+
+impl From<Vec<JobSpec>> for Submission {
+    fn from(jobs: Vec<JobSpec>) -> Submission {
+        Submission::batch(jobs)
+    }
+}
+
+impl From<Vec<(SimDuration, JobSpec)>> for Submission {
+    fn from(arrivals: Vec<(SimDuration, JobSpec)>) -> Submission {
+        Submission::arriving(arrivals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disagg_dataflow::job::JobBuilder;
+    use disagg_dataflow::task::TaskSpec;
+
+    fn job(name: &str) -> JobSpec {
+        let mut j = JobBuilder::new(name);
+        j.task(TaskSpec::new("t"));
+        j.build().unwrap()
+    }
+
+    #[test]
+    fn builder_shapes_compose() {
+        let s = Submission::batch(vec![job("a"), job("b")]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(s.offsets.is_none());
+        assert!(s.admission.is_none());
+
+        let s = Submission::job(job("solo"))
+            .arrivals(vec![SimDuration::from_nanos(5)])
+            .admission(AdmissionPolicy::Watermark(0.5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.offsets.as_ref().unwrap().len(), 1);
+        assert_eq!(s.admission, Some(AdmissionPolicy::Watermark(0.5)));
+
+        let s = Submission::arriving(vec![
+            (SimDuration::ZERO, job("x")),
+            (SimDuration::from_nanos(9), job("y")),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.offsets.as_ref().unwrap()[1], SimDuration::from_nanos(9));
+    }
+
+    #[test]
+    fn from_impls_cover_the_common_shapes() {
+        let s: Submission = job("a").into();
+        assert_eq!(s.len(), 1);
+        let s: Submission = vec![job("a"), job("b")].into();
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -32,7 +32,7 @@ fn linear_pipeline_is_all_ownership_transfers() {
         })
         .collect();
     job.chain(&ids);
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     assert_eq!(report.ownership_transfers, (n - 1) as u64);
     assert_eq!(report.handover_copies, 0);
     assert_eq!(report.transfer_ratio(), 1.0);
@@ -59,7 +59,7 @@ fn always_copy_baseline_moves_every_byte() {
         })
         .collect();
     job.chain(&ids);
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     assert_eq!(report.ownership_transfers, 0);
     assert_eq!(report.handover_copies, 2);
     assert!(report.bytes_moved >= 2 << 20, "copies must move the bytes");
@@ -121,7 +121,7 @@ fn hospital_dataflow_properties_are_honored() {
     job.edge(t2, t4);
     job.edge(t2, t5);
 
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     assert!(report.placements_clean(), "violations: {:?}", report.violations);
     assert_eq!(report.tasks.len(), 5);
 
@@ -166,7 +166,7 @@ fn figure3_same_request_maps_to_dram_on_cpu_and_gddr_on_gpu() {
                 Ok(())
             }),
     );
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     let scratch_dev = |name: &str| {
         report
             .task_by_name(JobId(0), name)
@@ -203,7 +203,7 @@ fn fan_out_gives_first_consumer_the_transfer_and_copies_the_rest() {
     for &c in &consumers {
         job.edge(src, c);
     }
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     assert_eq!(report.ownership_transfers, 1);
     assert_eq!(report.handover_copies, 2);
 }
@@ -227,7 +227,7 @@ fn global_state_is_shared_across_tasks_of_a_job() {
     }));
     job.edge(w, r);
     let spec = job.global_state(4096).build().unwrap();
-    let report = rt.submit(spec).unwrap();
+    let report = rt.execute(spec).unwrap();
     assert_eq!(report.tasks.len(), 2);
 }
 
@@ -262,7 +262,7 @@ fn published_global_scratch_is_reusable_downstream() {
         Ok(())
     }));
     job.edge(producer, consumer);
-    rt.submit(job.build().unwrap()).unwrap();
+    rt.execute(job.build().unwrap()).unwrap();
 }
 
 #[test]
@@ -284,7 +284,7 @@ fn node_crash_fails_over_to_another_compute_device() {
                 Ok(())
             }),
     );
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     let t = &report.tasks[0];
     assert_ne!(
         rt.topology().node_of_compute(t.compute),
@@ -307,7 +307,7 @@ fn confidential_region_cross_job_access_is_denied() {
             .output_bytes(4096)
             .body(passthrough(4096)),
     );
-    let report0 = rt.submit(job0.build().unwrap()).unwrap();
+    let report0 = rt.execute(job0.build().unwrap()).unwrap();
     let (_, secret, _) = report0.tasks[0]
         .placements
         .iter()
@@ -324,7 +324,7 @@ fn confidential_region_cross_job_access_is_denied() {
             Ok(_) => Ok(()),
         }
     }));
-    let err = rt.submit(job1.build().unwrap()).unwrap_err();
+    let err = rt.execute(job1.build().unwrap()).unwrap_err();
     match err {
         RuntimeError::Task { error, .. } => {
             assert!(error.is_confidentiality_denial(), "got: {}", error.msg)
@@ -344,11 +344,11 @@ fn multi_job_batch_reports_all_tasks_and_advances_clock() {
         j.edge(a, b);
         j.build().unwrap()
     };
-    let report = rt.run(vec![mk("one"), mk("two")]).unwrap();
+    let report = rt.execute(vec![mk("one"), mk("two")]).unwrap();
     assert_eq!(report.tasks.len(), 4);
     assert!(rt.now() > SimTime::ZERO);
     let first_clock = rt.now();
-    rt.run(vec![mk("three")]).unwrap();
+    rt.execute(vec![mk("three")]).unwrap();
     assert!(rt.now() > first_clock, "clock is monotonic across batches");
 }
 
@@ -373,7 +373,7 @@ fn declarative_beats_worst_feasible_placement() {
     let run = |policy: PlacementPolicy| {
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_placement(policy));
-        rt.submit(mk_job()).unwrap().makespan
+        rt.execute(mk_job()).unwrap().makespan
     };
     let good = run(PlacementPolicy::Declarative);
     let bad = run(PlacementPolicy::WorstFeasible);
@@ -396,7 +396,7 @@ fn lifetime_rule_frees_scratch_after_task_exit() {
                 Ok(())
             }),
     );
-    rt.submit(job.build().unwrap()).unwrap();
+    rt.execute(job.build().unwrap()).unwrap();
     assert_eq!(
         rt.manager().live_count(),
         0,
@@ -429,7 +429,7 @@ fn streaming_chains_pipeline_and_batch_chains_do_not() {
             })
             .collect();
         job.chain(&ids);
-        rt.submit(job.build().unwrap()).unwrap().makespan
+        rt.execute(job.build().unwrap()).unwrap().makespan
     };
     let batch = run(false);
     let streamed = run(true);
@@ -465,7 +465,7 @@ fn mixed_streaming_edges_only_pipeline_between_streaming_tasks() {
     let b = job.task(mk("b", false));
     let c = job.task(mk("c", true));
     job.chain(&[a, b, c]);
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     let at = report.task_by_name(JobId(0), "a").unwrap();
     let bt = report.task_by_name(JobId(0), "b").unwrap();
     let ct = report.task_by_name(JobId(0), "c").unwrap();
@@ -502,7 +502,7 @@ fn mid_task_node_crash_retries_on_a_survivor() {
     let healthy = {
         let (topo, _) = disaggregated_rack(2, 32, 2, 64);
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        rt.submit(mk_job()).unwrap()
+        rt.execute(mk_job()).unwrap()
     };
     let healthy_task = &healthy.tasks[0];
     let healthy_dur = healthy_task.duration();
@@ -522,7 +522,7 @@ fn mid_task_node_crash_retries_on_a_survivor() {
         kind: FaultKind::NodeCrash(victim),
     }]);
     let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_faults(faults));
-    let report = rt.submit(mk_job()).unwrap();
+    let report = rt.execute(mk_job()).unwrap();
     let t = &report.tasks[0];
     assert_ne!(
         rt.topology().node_of_compute(t.compute),
@@ -554,7 +554,7 @@ fn arrivals_gate_job_starts_and_makespan_extends_past_the_last_one() {
         j.build().unwrap()
     };
     let report = rt
-        .run_arrivals(vec![
+        .execute(vec![
             (SimDuration::ZERO, mk("first")),
             (SimDuration::from_micros(500), mk("second")),
             (SimDuration::from_millis(2), mk("third")),
@@ -598,7 +598,7 @@ fn app_published_regions_are_reusable_across_jobs() {
                 Ok(())
             }),
     );
-    rt.submit(builder.build().unwrap()).unwrap();
+    rt.execute(builder.build().unwrap()).unwrap();
     assert!(rt.manager().live_count() >= 1, "the index must survive job 0");
 
     let mut consumer = JobBuilder::new("consumer");
@@ -614,7 +614,7 @@ fn app_published_regions_are_reusable_across_jobs() {
         }
         Ok(())
     }));
-    rt.submit(consumer.build().unwrap()).unwrap();
+    rt.execute(consumer.build().unwrap()).unwrap();
 }
 
 #[test]
@@ -637,7 +637,7 @@ fn app_published_confidential_regions_stay_isolated() {
                 Ok(())
             }),
     );
-    rt.submit(secret.build().unwrap()).unwrap();
+    rt.execute(secret.build().unwrap()).unwrap();
 
     let mut snoop = JobBuilder::new("snoop");
     snoop.task(TaskSpec::new("snoop").body(|ctx| {
@@ -648,7 +648,7 @@ fn app_published_confidential_regions_stay_isolated() {
             Ok(_) => Ok(()),
         }
     }));
-    let err = rt.submit(snoop.build().unwrap()).unwrap_err();
+    let err = rt.execute(snoop.build().unwrap()).unwrap_err();
     match err {
         RuntimeError::Task { error, .. } => {
             assert!(error.is_confidentiality_denial(), "got: {}", error.msg)
@@ -705,7 +705,7 @@ fn runtime_tiering_promotes_hot_app_regions_and_respects_properties() {
         }
         Ok(())
     }));
-    rt.submit(j.build().unwrap()).unwrap();
+    rt.execute(j.build().unwrap()).unwrap();
     assert!(rt.hotness().stat(hot).score > 0.0, "heat must accumulate");
 
     let mut policy = TieringPolicy::new(vec![dram, cxl, pmem]);
@@ -782,7 +782,7 @@ fn diamond_job() -> JobSpec {
 #[test]
 fn diamond_on_two_devices_beats_the_serial_sum() {
     let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
-    let report = rt.submit(diamond_job()).unwrap();
+    let report = rt.execute(diamond_job()).unwrap();
     assert_eq!(report.tasks.len(), 4);
     let serial_sum: SimDuration = report.tasks.iter().map(|t| t.duration()).sum();
     assert!(
@@ -808,7 +808,7 @@ fn makespan_is_bounded_below_by_the_critical_path() {
     // in sequence, so the makespan can never undercut the longest path
     // of observed task durations.
     let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
-    let report = rt.submit(diamond_job()).unwrap();
+    let report = rt.execute(diamond_job()).unwrap();
     let dur = |name: &str| report.task_by_name(JobId(0), name).unwrap().duration();
     let critical_path =
         dur("source") + dur("left").max(dur("right")) + dur("sink");
@@ -824,7 +824,7 @@ fn makespan_is_bounded_below_by_the_critical_path() {
 fn same_submission_is_bit_for_bit_deterministic() {
     let run = || {
         let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
-        rt.submit(diamond_job()).unwrap()
+        rt.execute(diamond_job()).unwrap()
     };
     let a = run();
     let b = run();
@@ -850,7 +850,7 @@ fn every_queue_policy_runs_the_full_dag() {
             two_workers(),
             RuntimeConfig::traced().with_queue(policy),
         );
-        let report = rt.submit(diamond_job()).unwrap();
+        let report = rt.execute(diamond_job()).unwrap();
         assert_eq!(report.tasks.len(), 4, "{policy:?} ran every task");
         let serial_sum: SimDuration = report.tasks.iter().map(|t| t.duration()).sum();
         assert!(
@@ -864,7 +864,7 @@ fn every_queue_policy_runs_the_full_dag() {
 fn dispatch_is_visible_in_the_trace() {
     use disagg_hwsim::trace::TraceEvent;
     let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
-    rt.submit(diamond_job()).unwrap();
+    rt.execute(diamond_job()).unwrap();
     let queued = rt
         .trace()
         .events()
@@ -911,7 +911,7 @@ fn quickstart_handover_count_is_unchanged() {
         Ok(())
     }));
     job.edge(produce, consume);
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     assert_eq!(report.ownership_transfers, 1);
     assert!(report.placements_clean());
 }
@@ -933,7 +933,7 @@ fn independent_jobs_interleave_on_the_devices() {
         j.build().unwrap()
     };
     let mut rt = Runtime::new(two_workers(), RuntimeConfig::traced());
-    let report = rt.run(vec![mk("one"), mk("two")]).unwrap();
+    let report = rt.execute(vec![mk("one"), mk("two")]).unwrap();
     let serial_sum: SimDuration = report.tasks.iter().map(|t| t.duration()).sum();
     assert!(
         report.makespan < serial_sum,
@@ -961,12 +961,12 @@ fn reports_contain_only_their_own_runs_findings() {
                 Ok(())
             }),
     );
-    let r1 = rt.submit(secret.build().unwrap()).unwrap();
+    let r1 = rt.execute(secret.build().unwrap()).unwrap();
     assert!(r1.violations.is_empty());
 
     let mut clean = JobBuilder::new("clean");
     clean.task(TaskSpec::new("noop").body(|_| Ok(())));
-    let r2 = rt.submit(clean.build().unwrap()).unwrap();
+    let r2 = rt.execute(clean.build().unwrap()).unwrap();
     assert!(
         r2.violations.is_empty() && r2.denials == 0,
         "run 2 must not inherit run 1's audit history"

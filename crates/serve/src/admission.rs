@@ -1,0 +1,127 @@
+//! Per-tenant memory-quota admission.
+//!
+//! The serving layer decides admission *before* handing the batch to
+//! the executor, using the same footprint predictor the runtime's own
+//! admission waves charge ([`disagg_core::Runtime::predicted_footprint`])
+//! plus a calibrated per-template service-time estimate. Decisions are
+//! therefore causal (made in arrival order, from information available
+//! at the arrival instant) and independent of shard count — a rejected
+//! request is rejected identically on every execution.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use disagg_hwsim::time::{SimDuration, SimTime};
+
+/// Tracks each tenant's outstanding (admitted but not yet estimated to
+/// have finished) memory footprint against its quota.
+#[derive(Debug)]
+pub struct QuotaTracker {
+    /// Per-tenant quota in bytes (`u64::MAX` = unlimited).
+    quotas: Vec<u64>,
+    /// Per-tenant outstanding predicted bytes.
+    outstanding: Vec<u64>,
+    /// Admitted requests still in flight: (estimated finish, tenant,
+    /// bytes), popped as the arrival clock passes their finish.
+    inflight: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
+}
+
+impl QuotaTracker {
+    /// A tracker for `tenants` tenants, all starting at `quota` bytes
+    /// (`None` = unlimited).
+    pub fn new(tenants: usize, quota: Option<u64>) -> QuotaTracker {
+        QuotaTracker {
+            quotas: vec![quota.unwrap_or(u64::MAX); tenants],
+            outstanding: vec![0; tenants],
+            inflight: BinaryHeap::new(),
+        }
+    }
+
+    /// Overrides one tenant's quota.
+    pub fn set_quota(&mut self, tenant: usize, quota: u64) {
+        if let Some(q) = self.quotas.get_mut(tenant) {
+            *q = quota;
+        }
+    }
+
+    /// The quota currently applied to a tenant.
+    pub fn quota(&self, tenant: usize) -> u64 {
+        self.quotas.get(tenant).copied().unwrap_or(u64::MAX)
+    }
+
+    /// Releases every in-flight request whose estimated finish is at or
+    /// before `now`.
+    pub fn release_until(&mut self, now: SimTime) {
+        while let Some(&Reverse((finish, tenant, bytes))) = self.inflight.peek() {
+            if finish > now {
+                break;
+            }
+            self.inflight.pop();
+            self.outstanding[tenant] = self.outstanding[tenant].saturating_sub(bytes);
+        }
+    }
+
+    /// Admits or rejects a request arriving at `now`: admitted when the
+    /// tenant's outstanding bytes plus this request stay within quota.
+    /// On admission the request occupies the tenant's quota until
+    /// `now + est_service`.
+    pub fn admit(
+        &mut self,
+        tenant: usize,
+        bytes: u64,
+        now: SimTime,
+        est_service: SimDuration,
+    ) -> bool {
+        self.release_until(now);
+        let used = self.outstanding[tenant];
+        if used.saturating_add(bytes) > self.quotas[tenant] {
+            return false;
+        }
+        self.outstanding[tenant] = used + bytes;
+        self.inflight.push(Reverse((now + est_service, tenant, bytes)));
+        true
+    }
+
+    /// A tenant's currently outstanding predicted bytes.
+    pub fn outstanding(&self, tenant: usize) -> u64 {
+        self.outstanding.get(tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_rejects_over_budget_and_releases_on_finish() {
+        let mut q = QuotaTracker::new(2, Some(100));
+        let t0 = SimTime::ZERO;
+        let svc = SimDuration::from_micros(10);
+        assert!(q.admit(0, 60, t0, svc));
+        assert!(!q.admit(0, 60, t0, svc), "second 60B request overflows tenant 0");
+        assert!(q.admit(1, 60, t0, svc), "tenant 1 has its own budget");
+        assert_eq!(q.outstanding(1), 60);
+        // After the first requests' estimated finish, quota frees up.
+        let later = t0 + SimDuration::from_micros(11);
+        assert!(q.admit(0, 60, later, svc));
+        assert_eq!(q.outstanding(1), 0, "tenant 1's request also finished by then");
+    }
+
+    #[test]
+    fn unlimited_quota_admits_everything() {
+        let mut q = QuotaTracker::new(1, None);
+        let t0 = SimTime::ZERO;
+        for i in 0..32 {
+            assert!(q.admit(0, u64::MAX / 64, t0, SimDuration::from_nanos(i)));
+        }
+    }
+
+    #[test]
+    fn per_tenant_override_applies() {
+        let mut q = QuotaTracker::new(2, Some(1000));
+        q.set_quota(1, 10);
+        assert!(q.admit(0, 500, SimTime::ZERO, SimDuration::ZERO));
+        assert!(!q.admit(1, 500, SimTime::ZERO, SimDuration::ZERO));
+        assert_eq!(q.quota(1), 10);
+    }
+}

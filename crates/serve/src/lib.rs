@@ -1,0 +1,552 @@
+//! # disagg-serve — open-loop request serving for the disagg runtime
+//!
+//! Every workload elsewhere in this repository is a pre-built DAG run
+//! to completion. A production disaggregated runtime instead faces an
+//! *open* stream of requests from many tenants — "disaggregation must
+//! be evaluated against live application traffic, not beside it". This
+//! crate puts that traffic in front of the sharded executor:
+//!
+//! - **Arrival processes** ([`ArrivalProcess`]): Poisson and bursty
+//!   (two-phase MMPP) arrivals in virtual time, seeded via `SimRng`.
+//! - **Tenant mix**: requests are attributed to tenants by a Zipf draw
+//!   (`disagg_workloads::gen::Zipf`) — tenant 0 is the hottest.
+//! - **Templates**: each tenant maps to a registered job template; a
+//!   template instantiates a fresh DAG per request from a derived seed.
+//! - **Admission** ([`QuotaTracker`]): per-tenant memory-pool quotas
+//!   charged with the runtime's own footprint predictor and a
+//!   calibrated service-time estimate; decisions are causal and
+//!   identical at every shard count.
+//! - **SLOs** ([`Slo`]): per-tenant p50/p99 sojourn targets in virtual
+//!   time, extracted from `disagg-obs` log2 histograms.
+//!
+//! The whole pipeline is virtual-time-only: a seeded [`ServeConfig`]
+//! produces a bit-for-bit identical [`ServeReport`] on every run.
+//!
+//! ```
+//! use disagg_core::prelude::*;
+//! use disagg_serve::{ArrivalProcess, ServeConfig, ServeLayer};
+//!
+//! let (topo, _ids) = disagg_hwsim::presets::single_server();
+//! let mut rt = Runtime::new(topo, RuntimeConfig::default());
+//!
+//! let mut layer = ServeLayer::new();
+//! layer.register("echo", |req| {
+//!     let mut j = JobBuilder::new("echo");
+//!     j.task(TaskSpec::new("work").work(WorkClass::Scalar, 10_000 + (req.seed % 1000)));
+//!     j.build().unwrap()
+//! });
+//!
+//! let cfg = ServeConfig {
+//!     requests: 16,
+//!     tenants: 2,
+//!     arrivals: ArrivalProcess::Poisson { mean_gap: SimDuration::from_micros(5) },
+//!     ..ServeConfig::default()
+//! };
+//! let report = layer.run(&mut rt, &cfg).unwrap();
+//! assert_eq!(report.offered, 16);
+//! assert_eq!(report.admitted + report.rejected, 16);
+//! ```
+
+pub mod admission;
+pub mod arrival;
+pub mod report;
+
+pub use admission::QuotaTracker;
+pub use arrival::ArrivalProcess;
+pub use report::{RequestRecord, ServeReport, Slo, TenantStats, UtilSample};
+
+use disagg_core::report::RunReport;
+use disagg_core::{Runtime, RuntimeConfig, RuntimeError, Submission};
+use disagg_dataflow::job::JobSpec;
+use disagg_hwsim::rng::SimRng;
+use disagg_hwsim::time::{SimDuration, SimTime};
+use disagg_hwsim::trace::TraceEvent;
+use disagg_obs::Histogram;
+use disagg_workloads::gen::Zipf;
+
+/// Context handed to a job template when instantiating one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Position in the arrival sequence.
+    pub index: usize,
+    /// Issuing tenant (Zipf rank; 0 = hottest).
+    pub tenant: usize,
+    /// Arrival offset relative to the serving run's start.
+    pub arrival: SimDuration,
+    /// Per-request seed for sizing/body randomness inside the template.
+    pub seed: u64,
+}
+
+/// Describes one open-loop serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// When requests arrive.
+    pub arrivals: ArrivalProcess,
+    /// How many requests the run offers.
+    pub requests: usize,
+    /// Number of tenants in the mix.
+    pub tenants: usize,
+    /// Zipf skew across tenants (0 = uniform, ~1 = classic).
+    pub zipf_theta: f64,
+    /// Root seed; everything downstream forks from it.
+    pub seed: u64,
+    /// Default per-tenant memory quota in bytes (`None` = unlimited).
+    pub quota: Option<u64>,
+    /// Per-tenant quota overrides as `(tenant, bytes)`.
+    pub tenant_quotas: Vec<(usize, u64)>,
+    /// Default per-tenant latency SLO (`None` = no SLO).
+    pub slo: Option<Slo>,
+    /// Per-tenant SLO overrides as `(tenant, slo)`.
+    pub tenant_slos: Vec<(usize, Slo)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            arrivals: ArrivalProcess::Poisson { mean_gap: SimDuration::from_micros(10) },
+            requests: 64,
+            tenants: 4,
+            zipf_theta: 0.9,
+            seed: 42,
+            quota: None,
+            tenant_quotas: Vec::new(),
+            slo: None,
+            tenant_slos: Vec::new(),
+        }
+    }
+}
+
+type TemplateFn = Box<dyn Fn(&Request) -> JobSpec>;
+
+/// A registry of job templates plus the serving loop over them.
+///
+/// Tenant `t` is served by template `t % templates`, so one template
+/// serves a uniform fleet and several templates make a heterogeneous
+/// mix.
+#[derive(Default)]
+pub struct ServeLayer {
+    templates: Vec<(String, TemplateFn)>,
+}
+
+impl ServeLayer {
+    /// An empty registry.
+    pub fn new() -> ServeLayer {
+        ServeLayer { templates: Vec::new() }
+    }
+
+    /// Registers a job template under a name; returns `self` for
+    /// chaining.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        template: impl Fn(&Request) -> JobSpec + 'static,
+    ) -> &mut ServeLayer {
+        self.templates.push((name.into(), Box::new(template)));
+        self
+    }
+
+    /// Number of registered templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when no template is registered.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Template name serving a tenant.
+    pub fn template_for(&self, tenant: usize) -> &str {
+        &self.templates[tenant % self.templates.len()].0
+    }
+
+    /// Instantiates one request's job from the template serving
+    /// `tenant` — what the serving loop does internally, exposed for
+    /// calibration and tests.
+    pub fn instantiate(&self, tenant: usize, req: &Request) -> JobSpec {
+        (self.templates[tenant % self.templates.len()].1)(req)
+    }
+
+    /// Calibrates each template's service-time estimate: one
+    /// representative request per template, run alone on a fresh
+    /// single-shard runtime over a clone of `topo`-shaped hardware.
+    /// Estimates feed quota admission only; measured latencies always
+    /// come from the real run.
+    fn calibrate(&self, rt: &Runtime, cfg: &ServeConfig) -> Vec<SimDuration> {
+        let mut est = Vec::with_capacity(self.templates.len());
+        for (ti, (_, template)) in self.templates.iter().enumerate() {
+            let req = Request {
+                index: 0,
+                tenant: ti,
+                arrival: SimDuration::ZERO,
+                seed: SimRng::new(cfg.seed ^ ti as u64).next_u64(),
+            };
+            let mut probe = Runtime::new(rt.topology().clone(), RuntimeConfig::default());
+            let makespan = probe
+                .execute(template(&req))
+                .map(|r| r.makespan)
+                .unwrap_or(SimDuration::ZERO);
+            est.push(makespan);
+        }
+        est
+    }
+
+    /// Runs one open-loop serving pass: draws arrivals and the tenant
+    /// mix, instantiates per-request DAGs, applies quota admission, and
+    /// executes the admitted stream on `rt` with each request held to
+    /// its arrival offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no template is registered or `cfg.tenants == 0`.
+    pub fn run(&self, rt: &mut Runtime, cfg: &ServeConfig) -> Result<ServeReport, RuntimeError> {
+        assert!(!self.templates.is_empty(), "register at least one template");
+        assert!(cfg.tenants > 0, "need at least one tenant");
+
+        let mut rng = SimRng::new(cfg.seed);
+        let offsets = cfg.arrivals.sample_offsets(cfg.requests, &mut rng.fork(0));
+        let zipf = Zipf::new(cfg.tenants, cfg.zipf_theta);
+        let mut tenant_rng = rng.fork(1);
+        let mut seed_rng = rng.fork(2);
+
+        // Draw the request stream.
+        let mut requests = Vec::with_capacity(cfg.requests);
+        for (index, &arrival) in offsets.iter().enumerate() {
+            requests.push(Request {
+                index,
+                tenant: zipf.sample(&mut tenant_rng),
+                arrival,
+                seed: seed_rng.next_u64(),
+            });
+        }
+
+        // Quota admission over the arrival sequence, using calibrated
+        // service estimates and the runtime's own footprint predictor.
+        let est_service = self.calibrate(rt, cfg);
+        let mut quotas = QuotaTracker::new(cfg.tenants, cfg.quota);
+        for &(tenant, bytes) in &cfg.tenant_quotas {
+            quotas.set_quota(tenant, bytes);
+        }
+
+        let t0 = rt.now();
+        let mut admitted_jobs: Vec<JobSpec> = Vec::new();
+        let mut admitted_offsets: Vec<SimDuration> = Vec::new();
+        let mut admitted_of_request: Vec<Option<usize>> = Vec::with_capacity(cfg.requests);
+        for req in &requests {
+            let template = &self.templates[req.tenant % self.templates.len()].1;
+            let job = template(req);
+            let footprint = Runtime::predicted_footprint(&job);
+            let svc = est_service[req.tenant % est_service.len()];
+            if quotas.admit(req.tenant, footprint, t0 + req.arrival, svc) {
+                admitted_of_request.push(Some(admitted_jobs.len()));
+                admitted_jobs.push(job);
+                admitted_offsets.push(req.arrival);
+            } else {
+                admitted_of_request.push(None);
+            }
+        }
+
+        // Utilization denominator: the admission-managed pool — the sum
+        // of finite per-tenant quotas when any are configured, the
+        // rack's total memory capacity otherwise. Measuring against the
+        // managed pool keeps the curve legible: request footprints are
+        // invisible against multi-TiB rack capacity.
+        let quota_pool: u64 = (0..cfg.tenants)
+            .map(|t| quotas.quota(t))
+            .filter(|&q| q != u64::MAX)
+            .sum();
+        let pool_capacity: u64 = if quota_pool > 0 {
+            quota_pool
+        } else {
+            rt.topology()
+                .mem_ids()
+                .map(|d| rt.manager().pool().capacity(d))
+                .sum()
+        };
+        let pool_at_start: u64 = rt
+            .topology()
+            .mem_ids()
+            .map(|d| rt.manager().pool().allocated(d))
+            .sum();
+
+        // Execute the admitted stream; runtime-level admission
+        // (watermark waves) still applies underneath the quotas.
+        let run: RunReport = if admitted_jobs.is_empty() {
+            RunReport::default()
+        } else {
+            rt.execute(Submission::batch(admitted_jobs).arrivals(admitted_offsets))?
+        };
+
+        // Map admitted requests back to their jobs: the executor hands
+        // out sequential JobIds in submission order.
+        let base = run.tasks.iter().map(|t| t.job.0).min().unwrap_or(0);
+        let admitted_count = admitted_of_request.iter().flatten().count();
+        let mut finish_of_admitted: Vec<SimTime> = vec![t0; admitted_count];
+        for t in &run.tasks {
+            let slot = (t.job.0 - base) as usize;
+            if let Some(f) = finish_of_admitted.get_mut(slot) {
+                *f = (*f).max(t.finish);
+            }
+        }
+
+        // Per-request and per-tenant accounting.
+        let mut records = Vec::with_capacity(cfg.requests);
+        let mut sojourn = Histogram::default();
+        let mut tenants: Vec<TenantStats> = (0..cfg.tenants)
+            .map(|tenant| TenantStats {
+                tenant,
+                offered: 0,
+                admitted: 0,
+                rejected: 0,
+                sojourn: Histogram::default(),
+                p50: SimDuration::ZERO,
+                p99: SimDuration::ZERO,
+                slo: None,
+                slo_met: true,
+            })
+            .collect();
+        for (req, slot) in requests.iter().zip(&admitted_of_request) {
+            let ts = &mut tenants[req.tenant];
+            ts.offered += 1;
+            let latency = match slot {
+                Some(i) => {
+                    ts.admitted += 1;
+                    let lat = finish_of_admitted[*i] - (t0 + req.arrival);
+                    ts.sojourn.observe(lat.as_nanos());
+                    sojourn.observe(lat.as_nanos());
+                    Some(lat)
+                }
+                None => {
+                    ts.rejected += 1;
+                    None
+                }
+            };
+            records.push(RequestRecord {
+                index: req.index,
+                tenant: req.tenant,
+                arrival: req.arrival,
+                admitted: slot.is_some(),
+                latency,
+            });
+        }
+        for ts in &mut tenants {
+            ts.p50 = SimDuration::from_nanos(ts.sojourn.quantile_bound(0.50));
+            ts.p99 = SimDuration::from_nanos(ts.sojourn.quantile_bound(0.99));
+            ts.slo = cfg
+                .tenant_slos
+                .iter()
+                .find(|(t, _)| *t == ts.tenant)
+                .map(|(_, s)| *s)
+                .or(cfg.slo);
+            ts.slo_met = match ts.slo {
+                Some(slo) if ts.admitted > 0 => ts.p50 <= slo.p50 && ts.p99 <= slo.p99,
+                _ => true,
+            };
+        }
+
+        let (util_curve, peak_util) =
+            util_curve(rt, t0, run.makespan, pool_at_start, pool_capacity);
+
+        Ok(ServeReport {
+            offered: cfg.requests,
+            admitted: admitted_count,
+            rejected: cfg.requests - admitted_count,
+            makespan: run.makespan,
+            sojourn,
+            tenants,
+            requests: records,
+            util_curve,
+            peak_util,
+            run,
+        })
+    }
+}
+
+/// Samples pooled-memory utilization at 33 evenly spaced instants over
+/// the run, reconstructed from the trace's Alloc/Free events; also
+/// returns the *exact* peak fraction from the full event walk (the
+/// sampled curve can miss allocations shorter than a sample gap).
+/// Fractions are clamped to 1.0 — resident bytes can overshoot a
+/// quota-denominated pool because quotas account predicted footprints,
+/// not scratch allocations. Empty when the runtime traces nothing or
+/// the run was empty.
+fn util_curve(
+    rt: &Runtime,
+    t0: SimTime,
+    makespan: SimDuration,
+    at_start: u64,
+    capacity: u64,
+) -> (Vec<UtilSample>, f64) {
+    if capacity == 0 || makespan == SimDuration::ZERO {
+        return (Vec::new(), 0.0);
+    }
+    // (time, signed delta) of every pool movement inside the run.
+    let mut deltas: Vec<(SimTime, i64)> = Vec::new();
+    for e in rt.trace().events() {
+        match *e {
+            TraceEvent::Alloc { bytes, at, .. } if at >= t0 => {
+                deltas.push((at, bytes as i64));
+            }
+            TraceEvent::Free { bytes, at, .. } if at >= t0 => {
+                deltas.push((at, -(bytes as i64)));
+            }
+            _ => {}
+        }
+    }
+    if deltas.is_empty() {
+        return (Vec::new(), 0.0);
+    }
+    deltas.sort_by_key(|&(at, _)| at);
+
+    let mut peak = at_start as i64;
+    let mut walk = at_start as i64;
+    for &(_, d) in &deltas {
+        walk += d;
+        peak = peak.max(walk);
+    }
+
+    const SAMPLES: usize = 33;
+    let mut curve = Vec::with_capacity(SAMPLES);
+    let span = makespan.as_nanos();
+    let mut level = at_start as i64;
+    let mut next = 0usize;
+    for k in 0..SAMPLES {
+        let off = SimDuration::from_nanos(span * k as u64 / (SAMPLES as u64 - 1));
+        let cut = t0 + off;
+        while next < deltas.len() && deltas[next].0 <= cut {
+            level += deltas[next].1;
+            next += 1;
+        }
+        curve.push(UtilSample {
+            at: off,
+            frac: ((level.max(0) as f64) / (capacity as f64)).min(1.0),
+        });
+    }
+    (curve, ((peak.max(0) as f64) / (capacity as f64)).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disagg_core::prelude::{JobBuilder, TaskSpec, WorkClass};
+    use disagg_hwsim::presets::single_server;
+
+    fn layer() -> ServeLayer {
+        let mut l = ServeLayer::new();
+        l.register("unit", |req: &Request| {
+            let mut j = JobBuilder::new("unit");
+            j.task(
+                TaskSpec::new("work")
+                    .work(WorkClass::Scalar, 5_000 + (req.seed % 5_000))
+                    .output_bytes(1 << 16),
+            );
+            j.build().unwrap()
+        });
+        l
+    }
+
+    #[test]
+    fn serving_run_accounts_every_request() {
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        let cfg = ServeConfig { requests: 24, tenants: 3, ..ServeConfig::default() };
+        let report = layer().run(&mut rt, &cfg).unwrap();
+        assert_eq!(report.offered, 24);
+        assert_eq!(report.admitted, 24, "no quota — everything admitted");
+        assert_eq!(report.requests.len(), 24);
+        assert_eq!(report.tenants.iter().map(|t| t.offered).sum::<usize>(), 24);
+        assert!(report.sojourn.count == 24);
+        assert!(report.p99() >= report.p50());
+        // Latency = finish − arrival is positive for every request.
+        assert!(report
+            .requests
+            .iter()
+            .all(|r| r.latency.unwrap() > SimDuration::ZERO));
+    }
+
+    #[test]
+    fn zipf_mix_skews_toward_tenant_zero() {
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        let cfg = ServeConfig {
+            requests: 200,
+            tenants: 4,
+            zipf_theta: 1.2,
+            ..ServeConfig::default()
+        };
+        let report = layer().run(&mut rt, &cfg).unwrap();
+        assert!(
+            report.tenants[0].offered > report.tenants[3].offered,
+            "hot tenant should dominate a skewed mix"
+        );
+    }
+
+    #[test]
+    fn seeded_runs_agree_exactly() {
+        let cfg = ServeConfig { requests: 32, tenants: 3, ..ServeConfig::default() };
+        let run = || {
+            let (topo, _ids) = single_server();
+            let mut rt = Runtime::new(topo, RuntimeConfig::default());
+            layer().run(&mut rt, &cfg).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.sojourn, b.sojourn);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn tight_quota_rejects_but_never_starves_others() {
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        let cfg = ServeConfig {
+            requests: 40,
+            tenants: 2,
+            zipf_theta: 1.0,
+            // Quota below one request's footprint for tenant 1 only.
+            tenant_quotas: vec![(1, 1)],
+            ..ServeConfig::default()
+        };
+        let report = layer().run(&mut rt, &cfg).unwrap();
+        assert_eq!(report.tenants[1].admitted, 0, "tenant 1 can never fit");
+        assert!(report.tenants[0].admitted > 0, "tenant 0 unaffected");
+        assert_eq!(report.admitted + report.rejected, 40);
+    }
+
+    #[test]
+    fn slo_verdicts_follow_the_histograms() {
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        let generous = Slo {
+            p50: SimDuration::from_secs(1),
+            p99: SimDuration::from_secs(1),
+        };
+        let impossible = Slo {
+            p50: SimDuration::from_nanos(1),
+            p99: SimDuration::from_nanos(1),
+        };
+        let cfg = ServeConfig {
+            requests: 16,
+            tenants: 2,
+            slo: Some(generous),
+            tenant_slos: vec![(1, impossible)],
+            ..ServeConfig::default()
+        };
+        let report = layer().run(&mut rt, &cfg).unwrap();
+        assert!(report.tenants[0].slo_met);
+        if report.tenants[1].admitted > 0 {
+            assert!(!report.tenants[1].slo_met);
+        }
+    }
+
+    #[test]
+    fn traced_runtime_yields_a_utilization_curve() {
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+        let cfg = ServeConfig { requests: 16, tenants: 2, ..ServeConfig::default() };
+        let report = layer().run(&mut rt, &cfg).unwrap();
+        assert!(!report.util_curve.is_empty());
+        assert!(report.peak_util > 0.0);
+        assert!(report.util_curve.iter().all(|s| (0.0..=1.0).contains(&s.frac)));
+    }
+}

@@ -1,0 +1,117 @@
+//! What a serving run reports.
+//!
+//! Everything here is measured in *virtual* time and derived from the
+//! executor's deterministic output, so a seeded serving run produces a
+//! bit-for-bit identical [`ServeReport`] on every execution and at
+//! every shard count — latency SLOs included.
+
+use disagg_core::report::RunReport;
+use disagg_hwsim::time::SimDuration;
+use disagg_obs::Histogram;
+
+/// A per-tenant latency SLO in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slo {
+    /// Target median sojourn (arrival → last task finish).
+    pub p50: SimDuration,
+    /// Target tail sojourn.
+    pub p99: SimDuration,
+}
+
+/// One request's fate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Position in the arrival sequence.
+    pub index: usize,
+    /// The tenant that issued it.
+    pub tenant: usize,
+    /// Arrival offset relative to the serving run's start.
+    pub arrival: SimDuration,
+    /// Whether admission let it through.
+    pub admitted: bool,
+    /// Sojourn time (arrival → last task finish); `None` if rejected.
+    pub latency: Option<SimDuration>,
+}
+
+/// Per-tenant serving outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant index (Zipf rank: tenant 0 is the hottest).
+    pub tenant: usize,
+    /// Requests the tenant offered.
+    pub offered: usize,
+    /// Requests admitted.
+    pub admitted: usize,
+    /// Requests rejected by quota admission.
+    pub rejected: usize,
+    /// Sojourn-time distribution (log2 buckets over virtual ns).
+    pub sojourn: Histogram,
+    /// Median sojourn bound from the histogram.
+    pub p50: SimDuration,
+    /// Tail sojourn bound from the histogram.
+    pub p99: SimDuration,
+    /// The SLO this tenant was held to, if any.
+    pub slo: Option<Slo>,
+    /// Whether both p50 and p99 stayed within the SLO (vacuously true
+    /// without an SLO or without admitted requests).
+    pub slo_met: bool,
+}
+
+/// One sample of pooled-memory utilization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilSample {
+    /// Offset from the serving run's start.
+    pub at: SimDuration,
+    /// Allocated fraction of total pooled capacity, `0.0..=1.0`.
+    pub frac: f64,
+}
+
+/// The outcome of one open-loop serving run.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Requests offered (arrival process length).
+    pub offered: usize,
+    /// Requests admitted.
+    pub admitted: usize,
+    /// Requests rejected by quota admission.
+    pub rejected: usize,
+    /// Virtual time from run start to the last task finish.
+    pub makespan: SimDuration,
+    /// Sojourn-time distribution across all admitted requests.
+    pub sojourn: Histogram,
+    /// Per-tenant outcomes, indexed by tenant.
+    pub tenants: Vec<TenantStats>,
+    /// Every request in arrival order.
+    pub requests: Vec<RequestRecord>,
+    /// Pooled-memory utilization over the run (empty when the runtime
+    /// was built without tracing). Fractions are measured against the
+    /// admission-managed pool: the sum of finite per-tenant quotas when
+    /// any are configured, the rack's total memory capacity otherwise.
+    pub util_curve: Vec<UtilSample>,
+    /// Exact peak utilization over the run — computed from the full
+    /// Alloc/Free event walk, so it catches allocations too short-lived
+    /// for the sampled curve. `0.0` without a trace.
+    pub peak_util: f64,
+    /// The underlying executor report for the admitted batch.
+    pub run: RunReport,
+}
+
+impl ServeReport {
+    /// p50 sojourn bound across all admitted requests.
+    pub fn p50(&self) -> SimDuration {
+        SimDuration::from_nanos(self.sojourn.quantile_bound(0.50))
+    }
+
+    /// p99 sojourn bound across all admitted requests.
+    pub fn p99(&self) -> SimDuration {
+        SimDuration::from_nanos(self.sojourn.quantile_bound(0.99))
+    }
+
+    /// Admitted fraction of offered load.
+    pub fn admit_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.admitted as f64 / self.offered as f64
+    }
+}

@@ -422,7 +422,7 @@ mod tests {
         let exp = expected(&cfg);
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(query_job(cfg)).unwrap();
+        let report = rt.execute(query_job(cfg)).unwrap();
         let out = final_output(&rt, &report, JobId(0), "hash-join");
         let (matches, groups, total) = decode_result(&out);
         assert_eq!(matches, exp.join_matches);
@@ -440,7 +440,7 @@ mod tests {
         };
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(query_job(cfg)).unwrap();
+        let report = rt.execute(query_job(cfg)).unwrap();
         let agg = report.task_by_name(JobId(0), "hash-aggregate").unwrap();
         let kinds: Vec<&str> = agg.placements.iter().map(|(k, _, _)| *k).collect();
         assert!(kinds.contains(&"private_scratch"));
@@ -465,7 +465,7 @@ mod tests {
         let exp = expected_topk(&cfg);
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(topk_job(cfg)).unwrap();
+        let report = rt.execute(topk_job(cfg)).unwrap();
         let got = decode_topk(&final_output(&rt, &report, JobId(0), "merge-topk"));
         assert_eq!(got, exp);
         assert!(report.placements_clean());
@@ -483,7 +483,7 @@ mod tests {
         assert_eq!(exp.len(), 10);
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(topk_job(cfg)).unwrap();
+        let report = rt.execute(topk_job(cfg)).unwrap();
         let got = decode_topk(&final_output(&rt, &report, JobId(0), "merge-topk"));
         assert_eq!(got, exp);
     }

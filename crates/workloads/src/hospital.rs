@@ -240,7 +240,7 @@ mod tests {
         let exp = expected(&cfg);
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(hospital_job(cfg)).unwrap();
+        let report = rt.execute(hospital_job(cfg)).unwrap();
         assert!(report.placements_clean(), "{:?}", report.violations);
 
         let patients = decode_count(&final_output(&rt, &report, JobId(0), "alert-caregivers"));
@@ -252,7 +252,7 @@ mod tests {
         let cfg = HospitalConfig::default();
         let (topo, ids) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(hospital_job(cfg)).unwrap();
+        let report = rt.execute(hospital_job(cfg)).unwrap();
         for name in ["preprocessing", "face-recognition"] {
             let t = report.task_by_name(JobId(0), name).unwrap();
             assert_eq!(rt.topology().compute(t.compute).kind, ComputeKind::Gpu);
@@ -270,7 +270,7 @@ mod tests {
         let cfg = HospitalConfig::default();
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(hospital_job(cfg)).unwrap();
+        let report = rt.execute(hospital_job(cfg)).unwrap();
         let t5 = report.task_by_name(JobId(0), "alert-caregivers").unwrap();
         let (_, region, dev) = t5
             .placements
@@ -298,7 +298,7 @@ mod tests {
         let run = |cfg: HospitalConfig| {
             let (topo, _) = single_server();
             let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-            let report = rt.submit(hospital_job(cfg)).unwrap();
+            let report = rt.execute(hospital_job(cfg)).unwrap();
             let patients =
                 decode_count(&final_output(&rt, &report, JobId(0), "alert-caregivers"));
             (report.makespan, patients)

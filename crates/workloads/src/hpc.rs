@@ -367,7 +367,7 @@ mod tests {
         let cfg = HpcConfig::default();
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(stencil_job(cfg)).unwrap();
+        let report = rt.execute(stencil_job(cfg)).unwrap();
         let out = final_output(&rt, &report, JobId(0), "reduce");
         assert_eq!(decode_sum(&out), expected_sum(&cfg));
         assert!(report.placements_clean());
@@ -382,7 +382,7 @@ mod tests {
         };
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(stencil_job(cfg)).unwrap();
+        let report = rt.execute(stencil_job(cfg)).unwrap();
         let solve = report.task_by_name(JobId(0), "solve").unwrap();
         assert_eq!(solve.stats.async_ops, 4, "8 sweeps / every 2 = 4 checkpoints");
     }
@@ -402,7 +402,7 @@ mod tests {
         let cfg = DistributedConfig::default();
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(distributed_stencil_job(cfg)).unwrap();
+        let report = rt.execute(distributed_stencil_job(cfg)).unwrap();
         let got = decode_sum(&final_output(&rt, &report, JobId(0), "reduce"));
         assert_eq!(got, expected_distributed_sum(&cfg));
         assert!(report.placements_clean());
@@ -424,7 +424,7 @@ mod tests {
         };
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(distributed_stencil_job(cfg)).unwrap();
+        let report = rt.execute(distributed_stencil_job(cfg)).unwrap();
         let layer: Vec<_> = report
             .tasks
             .iter()
@@ -451,7 +451,7 @@ mod tests {
         };
         let (topo, _) = disagg_hwsim::presets::disaggregated_rack(3, 16, 2, 64);
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(distributed_stencil_job(cfg)).unwrap();
+        let report = rt.execute(distributed_stencil_job(cfg)).unwrap();
         let got = decode_sum(&final_output(&rt, &report, JobId(0), "reduce"));
         assert_eq!(got, expected_distributed_sum(&cfg));
     }

@@ -172,7 +172,7 @@ mod tests {
         let cfg = MlConfig::default();
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(training_job(cfg)).unwrap();
+        let report = rt.execute(training_job(cfg)).unwrap();
         let out = final_output(&rt, &report, JobId(0), "train");
         assert_eq!(decode_model(&out), expected_model(&cfg));
         assert!(report.placements_clean());
@@ -183,7 +183,7 @@ mod tests {
         let cfg = MlConfig::default();
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(training_job(cfg)).unwrap();
+        let report = rt.execute(training_job(cfg)).unwrap();
         let train = report.task_by_name(JobId(0), "train").unwrap();
         assert_eq!(rt.topology().compute(train.compute).kind, ComputeKind::Gpu);
         assert_eq!(train.stats.async_ops as usize, cfg.epochs);
@@ -194,10 +194,10 @@ mod tests {
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
         let short = rt
-            .submit(training_job(MlConfig { epochs: 1, ..MlConfig::default() }))
+            .execute(training_job(MlConfig { epochs: 1, ..MlConfig::default() }))
             .unwrap();
         let long = rt
-            .submit(training_job(MlConfig { epochs: 6, ..MlConfig::default() }))
+            .execute(training_job(MlConfig { epochs: 6, ..MlConfig::default() }))
             .unwrap();
         assert!(long.makespan > short.makespan);
     }

@@ -187,7 +187,7 @@ mod tests {
         };
         let (topo, _) = single_server();
         let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-        let report = rt.submit(windowed_job(cfg)).unwrap();
+        let report = rt.execute(windowed_job(cfg)).unwrap();
         let got = decode_result(&final_output(&rt, &report, JobId(0), "sink"));
         assert_eq!(got, expected_windows(&cfg));
         assert!(report.placements_clean());

@@ -79,7 +79,7 @@ mod tests {
                 }),
         );
         job.edge(a, b);
-        let report = rt.submit(job.build().unwrap()).unwrap();
+        let report = rt.execute(job.build().unwrap()).unwrap();
         let out = final_output(&rt, &report, JobId(0), "check");
         assert_eq!(decode_counted(&out), b"hello");
     }

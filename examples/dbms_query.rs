@@ -14,7 +14,7 @@ use disagg::workloads::util::final_output;
 fn run_once(policy: PlacementPolicy, cfg: DbmsConfig) -> (SimDuration, (u64, u64, u64)) {
     let (topo, _) = disagg::presets::single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_placement(policy));
-    let report = rt.submit(query_job(cfg)).expect("query runs");
+    let report = rt.execute(query_job(cfg)).expect("query runs");
     let result = decode_result(&final_output(&rt, &report, JobId(0), "hash-join"));
     (report.makespan, result)
 }

@@ -53,7 +53,7 @@ fn main() {
     job.edge(left, sink);
     job.edge(right, sink);
 
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     let serial_sum: SimDuration = report.tasks.iter().map(|t| t.duration()).sum();
 
     println!("task        device  start         finish");

@@ -96,7 +96,7 @@ fn main() {
         })
     };
     let mut calm_rt = Runtime::new(disaggregated_rack(2, 16, 2, 64).0, RuntimeConfig::default());
-    let baseline = calm_rt.run(vec![job()]).expect("calm run").makespan;
+    let baseline = calm_rt.execute(vec![job()]).expect("calm run").makespan;
 
     let (topo, rack) = disaggregated_rack(2, 16, 2, 64);
     let mut faults = FaultInjector::none();
@@ -114,7 +114,7 @@ fn main() {
         topo,
         RuntimeConfig::traced().with_faults(faults).with_recovery(policy),
     );
-    let report = rt.run(vec![job()]).expect("recovery policy rides out the chaos");
+    let report = rt.execute(vec![job()]).expect("recovery policy rides out the chaos");
     let (mut retries, mut detected, mut repaired) = (0u64, 0u64, 0u64);
     for e in rt.trace().events() {
         match e {

@@ -17,7 +17,7 @@ fn main() {
 
     let (topo, _) = disagg::presets::single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-    let report = rt.submit(hospital_job(cfg)).expect("hospital job runs");
+    let report = rt.execute(hospital_job(cfg)).expect("hospital job runs");
 
     println!("hospital dataflow: {} tasks, makespan {}", report.tasks.len(), report.makespan);
     for t in &report.tasks {

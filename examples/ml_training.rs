@@ -17,7 +17,7 @@ fn main() {
     };
     let (topo, _) = disagg::presets::single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::traced());
-    let report = rt.submit(training_job(cfg)).expect("training runs");
+    let report = rt.execute(training_job(cfg)).expect("training runs");
 
     println!(
         "pipeline: ingest → preprocess → train ({} samples x {} features, {} epochs)",

@@ -55,7 +55,7 @@ fn main() {
     job.edge(crunch, thrash);
     job.edge(crunch, overlap);
 
-    let report = rt.submit(job.build().expect("valid")).expect("runs");
+    let report = rt.execute(job.build().expect("valid")).expect("runs");
     let profile = report.profile();
     println!("{}", profile.render());
 

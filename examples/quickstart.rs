@@ -40,7 +40,7 @@ fn main() {
     );
     job.edge(produce, consume);
 
-    let report = rt.submit(job.build().expect("valid DAG")).expect("runs");
+    let report = rt.execute(job.build().expect("valid DAG")).expect("runs");
 
     println!("makespan:            {}", report.makespan);
     println!("ownership transfers: {}", report.ownership_transfers);

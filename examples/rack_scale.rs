@@ -38,7 +38,7 @@ fn main() {
         }),
         hospital::hospital_job(hospital::HospitalConfig::default()),
     ];
-    let report = rt.run(jobs).expect("the batch runs");
+    let report = rt.execute(jobs).expect("the batch runs");
 
     println!(
         "batch: {} tasks, makespan {}, {} ownership transfers / {} copies",

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Throughput regression guard: re-measures the stress suite and fails if
-# the reference configuration's events/sec drops more than 10% below the
+# any guarded configuration's events/sec drops more than 10% below the
 # committed BENCH_disagg.json record.
 #
+# Guards the reference stress configuration and, when the committed
+# record carries one, the serving-mix measurement (the open-loop
+# multi-tenant stream from crates/serve driven at saturation).
+#
 # Usage:
-#   scripts/bench_guard.sh                 # guard j16_l24_w24 at 0.90×
+#   scripts/bench_guard.sh                 # guard j16_l24_w24 (+ serving_mix)
 #   scripts/bench_guard.sh j8_l16_w16      # guard another config
 #   TOLERANCE=0.80 scripts/bench_guard.sh  # loosen the floor
 #   RUNS=5 scripts/bench_guard.sh          # more samples (best-of)
@@ -15,46 +19,70 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CONFIG=${1:-j16_l24_w24}
+PRIMARY=${1:-j16_l24_w24}
 TOLERANCE=${TOLERANCE:-0.90}
 RUNS=${RUNS:-3}
 
-committed=$(python3 - "$CONFIG" <<'PY'
+# The primary config must have a committed record; serving_mix is
+# guarded only when the committed JSON already carries it (older
+# records predate the serving layer).
+CONFIGS=$(python3 - "$PRIMARY" <<'PY'
+import json, sys
+rec = json.load(open("BENCH_disagg.json"))
+names = [t["name"] for t in rec.get("throughput", [])]
+if sys.argv[1] not in names:
+    sys.exit(f"bench_guard: no committed throughput entry for {sys.argv[1]}")
+configs = [sys.argv[1]]
+if "serving_mix" in names and sys.argv[1] != "serving_mix":
+    configs.append("serving_mix")
+print(" ".join(configs))
+PY
+)
+
+committed_of() {
+  python3 - "$1" <<'PY'
 import json, sys
 rec = json.load(open("BENCH_disagg.json"))
 rows = [t for t in rec.get("throughput", []) if t["name"] == sys.argv[1]]
-if not rows:
-    sys.exit(f"bench_guard: no committed throughput entry for {sys.argv[1]}")
 print(int(rows[0]["events_per_sec"]))
 PY
-)
+}
 
 echo "==> cargo build --release --offline -p disagg-bench --bin exp_driver" >&2
 cargo build --release --offline -p disagg-bench --bin exp_driver >&2
 
-# --thru-only measures the full stress suite (best of 3 reps) without
-# the experiment tables or chaos sweep; the numbers land on stderr.
-# Wall-clock noise on small/shared hosts easily exceeds 10%, so the
-# guard keeps the best of $RUNS whole-suite samples: a real regression
-# slows every sample, noise only some.
-fresh=0
+# --thru-only measures the full stress suite plus the serving mix (best
+# of 3 reps) without the experiment tables or chaos sweep; the numbers
+# land on stderr. Wall-clock noise on small/shared hosts easily exceeds
+# 10%, so the guard keeps the best of $RUNS whole-suite samples: a real
+# regression slows every sample, noise only some.
+declare -A fresh
+for cfg in $CONFIGS; do fresh[$cfg]=0; done
 for run in $(seq "$RUNS"); do
   fresh_log=$(./target/release/exp_driver --thru-only --no-scaling --no-json 2>&1 >/dev/null)
-  sample=$(printf '%s\n' "$fresh_log" \
-    | sed -n "s/^throughput ${CONFIG} .*→ \([0-9][0-9]*\) events\/sec.*/\1/p")
-  if [ -z "$sample" ]; then
-    echo "bench_guard: no fresh measurement for ${CONFIG} in driver output" >&2
-    exit 1
-  fi
-  echo "bench_guard: sample ${run}/${RUNS}: ${sample} events/sec" >&2
-  if [ "$sample" -gt "$fresh" ]; then fresh=$sample; fi
+  for cfg in $CONFIGS; do
+    sample=$(printf '%s\n' "$fresh_log" \
+      | sed -n "s/^throughput ${cfg} .*→ \([0-9][0-9]*\) events\/sec.*/\1/p")
+    if [ -z "$sample" ]; then
+      echo "bench_guard: no fresh measurement for ${cfg} in driver output" >&2
+      exit 1
+    fi
+    echo "bench_guard: ${cfg} sample ${run}/${RUNS}: ${sample} events/sec" >&2
+    if [ "$sample" -gt "${fresh[$cfg]}" ]; then fresh[$cfg]=$sample; fi
+  done
 done
 
-ok=$(awk -v f="$fresh" -v c="$committed" -v t="$TOLERANCE" \
-  'BEGIN { print (f >= c * t) ? 1 : 0 }')
-if [ "$ok" != "1" ]; then
-  echo "bench_guard: ${CONFIG} REGRESSED: fresh ${fresh} events/sec" \
-       "< ${TOLERANCE} x committed ${committed}" >&2
-  exit 1
-fi
-echo "bench_guard: ${CONFIG} OK: fresh ${fresh} events/sec vs committed ${committed} (floor ${TOLERANCE}x)"
+status=0
+for cfg in $CONFIGS; do
+  committed=$(committed_of "$cfg")
+  ok=$(awk -v f="${fresh[$cfg]}" -v c="$committed" -v t="$TOLERANCE" \
+    'BEGIN { print (f >= c * t) ? 1 : 0 }')
+  if [ "$ok" != "1" ]; then
+    echo "bench_guard: ${cfg} REGRESSED: fresh ${fresh[$cfg]} events/sec" \
+         "< ${TOLERANCE} x committed ${committed}" >&2
+    status=1
+  else
+    echo "bench_guard: ${cfg} OK: fresh ${fresh[$cfg]} events/sec vs committed ${committed} (floor ${TOLERANCE}x)"
+  fi
+done
+exit $status

@@ -14,7 +14,7 @@
 //! - top-level re-exports of the runtime types ([`Runtime`],
 //!   [`RuntimeConfig`], [`RunReport`], [`DisaggError`]);
 //! - layer modules ([`hwsim`], [`region`], [`dataflow`], [`sched`],
-//!   [`ftol`], [`obs`], [`workloads`]) for the long tail.
+//!   [`ftol`], [`obs`], [`serve`], [`workloads`]) for the long tail.
 //!
 //! ```
 //! use disagg::prelude::*;
@@ -39,7 +39,7 @@
 //! }));
 //! job.edge(produce, consume);
 //!
-//! let report = rt.submit(job.build().unwrap()).unwrap();
+//! let report = rt.execute(job.build().unwrap()).unwrap();
 //! assert_eq!(report.ownership_transfers, 1, "handover was zero-copy");
 //! ```
 
@@ -51,13 +51,17 @@ pub use disagg_hwsim as hwsim;
 pub use disagg_obs as obs;
 pub use disagg_region as region;
 pub use disagg_sched as sched;
+pub use disagg_serve as serve;
 pub use disagg_workloads as workloads;
 
 // The runtime's own modules and top-level types.
 pub use disagg_core::{config, error, executor, profile, report, runtime};
 pub use disagg_core::{
-    DeviceSummary, DisaggError, RunProfile, RunReport, Runtime, RuntimeConfig, RuntimeError,
-    TaskProfile, TaskReport,
+    AdmissionPolicy, DeviceSummary, DisaggError, RunProfile, RunReport, Runtime, RuntimeConfig,
+    RuntimeError, Submission, TaskProfile, TaskReport,
+};
+pub use disagg_serve::{
+    ArrivalProcess, Request, ServeConfig, ServeLayer, ServeReport, Slo, TenantStats,
 };
 
 /// Ready-made topologies for examples, tests, and experiments.
@@ -74,6 +78,9 @@ pub mod presets {
 pub mod prelude {
     pub use crate::presets;
     pub use disagg_core::prelude::*;
+    pub use disagg_serve::{
+        ArrivalProcess, Request, ServeConfig, ServeLayer, ServeReport, Slo, TenantStats,
+    };
     pub use disagg_hwsim::fault::{FaultEvent, FaultInjector, FaultKind};
     pub use disagg_hwsim::rng::SimRng;
     pub use disagg_region::region::OwnerId;

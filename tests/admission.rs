@@ -42,21 +42,21 @@ fn burst(n: usize, scratch: u64) -> Vec<JobSpec> {
 fn oversubscribed_burst_fails_without_admission() {
     let mut rt = Runtime::new(tight_host(), RuntimeConfig::traced());
     // 4 x 3 GiB on an 8 GiB device: concurrent footprints cannot fit.
-    let err = rt.run(burst(4, 3 * GIB)).unwrap_err();
+    let err = rt.execute(burst(4, 3 * GIB)).unwrap_err();
     assert!(matches!(err, RuntimeError::Placement { .. }), "got {err}");
 }
 
 #[test]
 fn admission_turns_the_same_burst_into_waves() {
     let mut rt = Runtime::new(tight_host(), RuntimeConfig::traced().with_admission(0.8));
-    let report = rt.run(burst(4, 3 * GIB)).expect("admitted in waves");
+    let report = rt.execute(burst(4, 3 * GIB)).expect("admitted in waves");
     assert_eq!(report.tasks.len(), 4, "every job eventually ran");
     // 8 GiB * 0.8 = 6.4 GiB budget → two 3 GiB jobs per wave → 2 waves.
     // The second wave starts after the first finishes, so the makespan
     // roughly doubles a single wave's.
     let single = {
         let mut rt = Runtime::new(tight_host(), RuntimeConfig::traced());
-        rt.run(burst(2, 3 * GIB)).unwrap().makespan
+        rt.execute(burst(2, 3 * GIB)).unwrap().makespan
     };
     assert!(
         report.makespan.as_nanos() >= 2 * single.as_nanos() * 9 / 10,
@@ -71,11 +71,11 @@ fn admission_leaves_small_batches_alone() {
     let mk = || burst(3, 256 << 20);
     let with = {
         let mut rt = Runtime::new(tight_host(), RuntimeConfig::traced().with_admission(0.8));
-        rt.run(mk()).unwrap()
+        rt.execute(mk()).unwrap()
     };
     let without = {
         let mut rt = Runtime::new(tight_host(), RuntimeConfig::traced());
-        rt.run(mk()).unwrap()
+        rt.execute(mk()).unwrap()
     };
     assert_eq!(with.makespan, without.makespan, "no split when everything fits");
     assert_eq!(with.tasks.len(), without.tasks.len());
@@ -87,6 +87,6 @@ fn a_single_oversized_job_is_still_admitted_alone() {
     // the budget by itself, but refusing it forever would be a livelock —
     // it is admitted alone and succeeds because the device can hold it.
     let mut rt = Runtime::new(tight_host(), RuntimeConfig::traced().with_admission(0.5));
-    let report = rt.run(burst(1, 7 * GIB)).expect("solo admission");
+    let report = rt.execute(burst(1, 7 * GIB)).expect("solo admission");
     assert_eq!(report.tasks.len(), 1);
 }

@@ -51,7 +51,7 @@ fn confidential_data_beyond_the_trust_boundary_pays_the_crypto_toll() {
             host_with_only_remote_persistence(),
             RuntimeConfig::traced(),
         );
-        let report = rt.submit(persist_job(confidential, bytes)).unwrap();
+        let report = rt.execute(persist_job(confidential, bytes)).unwrap();
         let t = &report.tasks[0];
         // The output must be on the NIC-attached device either way.
         let (_, _, dev) = t.placements.iter().find(|(k, _, _)| *k == "output").unwrap();
@@ -83,7 +83,7 @@ fn confidential_data_inside_the_chassis_pays_nothing() {
                     Ok(())
                 }),
         );
-        rt.submit(j.build().unwrap()).unwrap().tasks[0].duration()
+        rt.execute(j.build().unwrap()).unwrap().tasks[0].duration()
     };
     assert_eq!(
         run(true),
@@ -153,7 +153,7 @@ fn audit_counts_every_placement_in_a_run() {
     let b = j.task(TaskSpec::new("b").body(|_| Ok(())));
     j.edge(a, b);
     let spec = j.global_state(4096).build().unwrap();
-    let report = rt.submit(spec).unwrap();
+    let report = rt.execute(spec).unwrap();
     // global state + scratch + gscratch + output = 4 placements audited.
     assert_eq!(report.placements.len(), 4);
     assert!(report.placements_clean());
@@ -196,7 +196,7 @@ fn persistent_outputs_are_replicated_across_failure_domains() {
                 Ok(())
             }),
     );
-    let report = rt.submit(j.build().unwrap()).unwrap();
+    let report = rt.execute(j.build().unwrap()).unwrap();
     assert_eq!(report.persistent_replicas.len(), 1);
     let (primary, copies) = &report.persistent_replicas[0];
     assert_eq!(copies.len(), 1, "one extra copy requested");
@@ -244,7 +244,7 @@ fn replication_degrades_gracefully_when_no_second_domain_exists() {
                 Ok(())
             }),
     );
-    let report = rt.submit(j.build().unwrap()).unwrap();
+    let report = rt.execute(j.build().unwrap()).unwrap();
     let (_, copies) = &report.persistent_replicas[0];
     assert!(copies.is_empty(), "no second failure domain exists");
 }

@@ -11,6 +11,11 @@
 //! workloads, and the runtime must reproduce them bit-for-bit (task
 //! order, makespan, movement counters, and the full trace) — at
 //! **every shard count**, including under fault injection.
+//!
+//! Deliberately stays on the deprecated `Runtime::run` shim: these
+//! goldens double as proof that the legacy entry points still route
+//! through `Runtime::execute` without changing a single byte.
+#![allow(deprecated)]
 
 use disagg::hwsim::compute::ComputeModel;
 use disagg::hwsim::device::{MemDeviceKind, MemDeviceModel};

@@ -122,7 +122,7 @@ fn exhausted_retry_budget_surfaces_a_clean_error() {
     // Probe the healthy makespan to aim the crash mid-task.
     let (topo, _) = disaggregated_rack(2, 16, 2, 64);
     let mut rt = Runtime::new(topo, RuntimeConfig::default());
-    let t = rt.run(vec![long_job()]).unwrap().makespan;
+    let t = rt.execute(vec![long_job()]).unwrap().makespan;
 
     let (topo, rack) = disaggregated_rack(2, 16, 2, 64);
     let mut faults = FaultInjector::none();
@@ -133,7 +133,7 @@ fn exhausted_retry_budget_surfaces_a_clean_error() {
         .with_faults(faults)
         .with_recovery(RecoveryPolicy::default().with_max_retries(0));
     let mut rt = Runtime::new(topo, config);
-    match rt.run(vec![long_job()]) {
+    match rt.execute(vec![long_job()]) {
         Err(DisaggError::RetriesExhausted { attempts, .. }) => {
             assert_eq!(attempts, 1, "budget 0 means one interrupted attempt");
         }
@@ -167,7 +167,7 @@ fn faulty_run_is_bit_for_bit_deterministic() {
             probe_tuples: 1_000,
             ..dbms::DbmsConfig::default()
         });
-        let report = rt.run(vec![job]).unwrap();
+        let report = rt.execute(vec![job]).unwrap();
         let trace: Vec<String> = rt.trace().events().iter().map(|e| format!("{e:?}")).collect();
         (report.makespan, trace)
     };

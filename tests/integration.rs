@@ -19,7 +19,7 @@ fn all_four_table3_workloads_verify_on_one_runtime() {
         probe_tuples: 1_500,
         ..dbms::DbmsConfig::default()
     };
-    let report = rt.submit(dbms::query_job(dcfg)).unwrap();
+    let report = rt.execute(dbms::query_job(dcfg)).unwrap();
     let (matches, groups, total) =
         dbms::decode_result(&util::final_output(&rt, &report, JobId(0), "hash-join"));
     let exp = dbms::expected(&dcfg);
@@ -30,7 +30,7 @@ fn all_four_table3_workloads_verify_on_one_runtime() {
         epochs: 2,
         ..ml::MlConfig::default()
     };
-    let report = rt.submit(ml::training_job(mcfg)).unwrap();
+    let report = rt.execute(ml::training_job(mcfg)).unwrap();
     let model = ml::decode_model(&util::final_output(&rt, &report, JobId(1), "train"));
     assert_eq!(model, ml::expected_model(&mcfg));
 
@@ -39,7 +39,7 @@ fn all_four_table3_workloads_verify_on_one_runtime() {
         sweeps: 5,
         ..hpc::HpcConfig::default()
     };
-    let report = rt.submit(hpc::stencil_job(hcfg)).unwrap();
+    let report = rt.execute(hpc::stencil_job(hcfg)).unwrap();
     let sum = hpc::decode_sum(&util::final_output(&rt, &report, JobId(2), "reduce"));
     assert_eq!(sum, hpc::expected_sum(&hcfg));
 
@@ -47,7 +47,7 @@ fn all_four_table3_workloads_verify_on_one_runtime() {
         events: 3_000,
         ..streaming::StreamConfig::default()
     };
-    let report = rt.submit(streaming::windowed_job(scfg)).unwrap();
+    let report = rt.execute(streaming::windowed_job(scfg)).unwrap();
     let windows = streaming::decode_result(&util::final_output(&rt, &report, JobId(3), "sink"));
     assert_eq!(windows, streaming::expected_windows(&scfg));
 }
@@ -76,7 +76,7 @@ fn rack_scale_batch_of_mixed_jobs_runs_clean() {
             ..hospital::HospitalConfig::default()
         }),
     ];
-    let report = rt.run(jobs).unwrap();
+    let report = rt.execute(jobs).unwrap();
     assert_eq!(report.tasks.len(), 3 + 3 + 3 + 5);
     assert!(report.placements_clean(), "{:?}", report.violations);
     assert!(report.makespan > SimDuration::ZERO);
@@ -114,7 +114,7 @@ fn persistent_results_survive_across_batches_and_crashes() {
                 Ok(())
             }),
     );
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     let (_, region, dev) = report.tasks[0]
         .placements
         .iter()
@@ -128,7 +128,7 @@ fn persistent_results_survive_across_batches_and_crashes() {
     // does not erase it).
     let mut job2 = JobBuilder::new("other");
     job2.task(TaskSpec::new("noop").body(|_| Ok(())));
-    rt.submit(job2.build().unwrap()).unwrap();
+    rt.execute(job2.build().unwrap()).unwrap();
 
     let mut buf = [0u8; 13];
     rt.manager().read(region, OwnerId::App, 0, &mut buf).unwrap();
@@ -151,7 +151,7 @@ fn confidential_jobs_are_isolated_from_each_other() {
                 Ok(())
             }),
     );
-    let report = rt.submit(secret_job.build().unwrap()).unwrap();
+    let report = rt.execute(secret_job.build().unwrap()).unwrap();
     let (_, secret, _) = report.tasks[0]
         .placements
         .iter()
@@ -180,7 +180,7 @@ fn the_compute_centric_baseline_still_computes_correctly() {
     let exp = dbms::expected(&cfg);
     let (topo, _) = single_server();
     let mut rt = Runtime::new(topo, RuntimeConfig::compute_centric());
-    let report = rt.submit(dbms::query_job(cfg)).unwrap();
+    let report = rt.execute(dbms::query_job(cfg)).unwrap();
     let (matches, groups, total) =
         dbms::decode_result(&util::final_output(&rt, &report, JobId(0), "hash-join"));
     assert_eq!((matches, groups as usize, total), (exp.join_matches, exp.groups, exp.total_sum));
@@ -206,7 +206,7 @@ fn trace_accounts_for_every_byte_of_a_pipeline() {
         Ok(())
     }));
     job.edge(a, b);
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     // Write (64 KiB) + read (64 KiB) accesses, zero handover movement.
     assert_eq!(report.bytes_moved, 2 << 16);
     assert_eq!(report.bytes_ownership_transferred, 1 << 16);

@@ -42,7 +42,7 @@ fn observed_quickstart() -> (Runtime, RunReport, Arc<Mutex<FullObserver>>) {
             }),
     );
     job.edge(produce, consume);
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
     (rt, report, sink)
 }
 
@@ -97,7 +97,7 @@ fn diamond_critical_path_is_the_heavy_chain() {
     job.edge(source, right);
     job.edge(left, sink);
     job.edge(right, sink);
-    let report = rt.submit(job.build().unwrap()).unwrap();
+    let report = rt.execute(job.build().unwrap()).unwrap();
 
     let (spans, paths) = report.critical_paths(2);
     assert!(!paths.is_empty(), "a path exists");

@@ -465,7 +465,7 @@ fn admission_runs_every_job_once() {
                 j.build().unwrap()
             })
             .collect();
-        let report = rt.run(jobs).unwrap();
+        let report = rt.execute(jobs).unwrap();
         assert_eq!(report.tasks.len(), n_jobs);
         assert_eq!(rt.manager().live_count(), 0);
     });
@@ -536,7 +536,7 @@ fn executor_is_total_over_random_jobs() {
         }
 
         let spec = job.build().unwrap();
-        match rt.submit(spec) {
+        match rt.execute(spec) {
             Ok(report) => {
                 assert_eq!(report.tasks.len(), n_tasks);
                 // Persistent sinks with outputs survive; nothing else.

@@ -1,0 +1,195 @@
+//! Serving-layer integration: the open-loop request stream must be
+//! bit-for-bit deterministic across executions and shard counts, quotas
+//! must bind per tenant, and the SLO histograms must agree with the
+//! underlying executor report.
+
+use disagg::hwsim::presets::disaggregated_rack;
+use disagg::hwsim::time::SimDuration;
+use disagg::obs::Histogram;
+use disagg::prelude::*;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+fn run_digest(report: &RunReport) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for t in &report.tasks {
+        fnv(
+            &mut h,
+            format!(
+                "{}/{}/{}/{:?}/{}/{}",
+                t.job.0, t.task.0, t.name, t.compute, t.start, t.finish
+            )
+            .as_bytes(),
+        );
+    }
+    h
+}
+
+/// A small two-template mix: a scalar chain and a vector fan-out, both
+/// jittered per request off the request seed.
+fn mix() -> ServeLayer {
+    let mut layer = ServeLayer::new();
+    layer.register("chain", |req: &Request| {
+        let mut j = JobBuilder::new("chain");
+        let a = j.task(
+            TaskSpec::new("a")
+                .work(WorkClass::Scalar, 20_000 + req.seed % 1_000)
+                .output_bytes(1 << 20),
+        );
+        let b = j.task(TaskSpec::new("b").work(WorkClass::Scalar, 10_000));
+        j.edge(a, b);
+        j.build().expect("chain template")
+    });
+    layer.register("fan", |req: &Request| {
+        let mut j = JobBuilder::new("fan");
+        let src = j.task(
+            TaskSpec::new("src")
+                .work(WorkClass::Vector, 30_000 + req.seed % 2_000)
+                .output_bytes(4 << 20),
+        );
+        let sink = j.task(TaskSpec::new("sink").work(WorkClass::Scalar, 5_000));
+        for i in 0..3 {
+            let mid = j.task(
+                TaskSpec::new(format!("mid{i}"))
+                    .work(WorkClass::Vector, 10_000)
+                    .output_bytes(1 << 20),
+            );
+            j.edge(src, mid);
+            j.edge(mid, sink);
+        }
+        j.build().expect("fan template")
+    });
+    layer
+}
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        arrivals: ArrivalProcess::Poisson { mean_gap: SimDuration::from_micros(50) },
+        requests: 32,
+        tenants: 4,
+        zipf_theta: 0.9,
+        seed: 0xbeef,
+        slo: Some(Slo {
+            p50: SimDuration::from_micros(200),
+            p99: SimDuration::from_millis(5),
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+fn serve_once(shards: usize) -> (ServeReport, u64) {
+    let (topo, _rack) = disaggregated_rack(2, 4, 1, 8);
+    let mut rt = Runtime::new(topo, RuntimeConfig::traced().with_shards(shards));
+    let report = mix().run(&mut rt, &cfg()).expect("serving run");
+    let digest = run_digest(&report.run);
+    (report, digest)
+}
+
+/// The same seeded stream must reproduce byte-identically across two
+/// executions and across shard counts — arrivals, tenant mix, admission
+/// verdicts, latencies, histograms, and the executor schedule itself.
+#[test]
+fn serving_is_deterministic_across_runs_and_shards() {
+    let (base, base_digest) = serve_once(1);
+    assert!(base.admitted > 0, "stream must admit work");
+    for shards in [1usize, 4] {
+        let (rep, digest) = serve_once(shards);
+        assert_eq!(
+            format!("{:?}", rep.requests),
+            format!("{:?}", base.requests),
+            "request records diverged at {shards} shard(s)"
+        );
+        assert_eq!(
+            format!("{:?}", rep.sojourn),
+            format!("{:?}", base.sojourn),
+            "sojourn histogram diverged at {shards} shard(s)"
+        );
+        assert_eq!(rep.makespan, base.makespan, "makespan diverged at {shards} shard(s)");
+        assert_eq!(digest, base_digest, "executor schedule diverged at {shards} shard(s)");
+    }
+}
+
+/// A tenant whose quota cannot hold even one request footprint is
+/// starved out while every other tenant proceeds untouched.
+#[test]
+fn tenant_quota_rejects_without_collateral_damage() {
+    let (topo, _rack) = disaggregated_rack(2, 4, 1, 8);
+    let mut rt = Runtime::new(topo, RuntimeConfig::default());
+    let mut c = cfg();
+    c.tenant_quotas = vec![(1, 1024)]; // far below any template footprint
+    let report = mix().run(&mut rt, &c).expect("serving run");
+
+    let starved = &report.tenants[1];
+    assert!(starved.offered > 0, "seeded mix must offer tenant 1 traffic");
+    assert_eq!(starved.admitted, 0, "1 KiB quota cannot admit any request");
+    assert_eq!(starved.rejected, starved.offered);
+    for t in report.tenants.iter().filter(|t| t.tenant != 1) {
+        assert_eq!(t.rejected, 0, "tenant {} must be untouched", t.tenant);
+        assert_eq!(t.admitted, t.offered);
+    }
+    for r in report.requests.iter().filter(|r| r.tenant == 1) {
+        assert!(!r.admitted);
+        assert!(r.latency.is_none(), "rejected requests never execute");
+    }
+    assert_eq!(report.admitted + report.rejected, report.offered);
+}
+
+/// The per-tenant SLO histograms must agree with latencies derived
+/// directly from the executor's task spans: rebuilding each tenant's
+/// sojourn histogram from the run report reproduces the published
+/// p50/p99 bounds exactly.
+#[test]
+fn slo_histograms_agree_with_run_report_task_spans() {
+    let (report, _) = serve_once(1);
+
+    // Admitted requests map to jobs in admission order starting at the
+    // smallest JobId in the batch.
+    let base = report
+        .run
+        .tasks
+        .iter()
+        .map(|t| t.job.0)
+        .min()
+        .expect("admitted work exists");
+    let mut finish_of_job = std::collections::HashMap::new();
+    for t in &report.run.tasks {
+        let f = finish_of_job.entry(t.job.0).or_insert(t.finish);
+        if t.finish > *f {
+            *f = t.finish;
+        }
+    }
+
+    let mut rebuilt: Vec<Histogram> = (0..4).map(|_| Histogram::default()).collect();
+    let mut next_job = base;
+    for r in &report.requests {
+        if !r.admitted {
+            continue;
+        }
+        let finish = finish_of_job[&next_job];
+        next_job += 1;
+        let latency = finish - (SimTime::ZERO + r.arrival);
+        assert_eq!(
+            Some(latency),
+            r.latency,
+            "request {} latency must equal its job's last task finish minus arrival",
+            r.index
+        );
+        rebuilt[r.tenant].observe(latency.as_nanos());
+    }
+
+    for t in &report.tenants {
+        if t.admitted == 0 {
+            continue;
+        }
+        let h = &rebuilt[t.tenant];
+        assert_eq!(SimDuration::from_nanos(h.quantile_bound(0.50)), t.p50);
+        assert_eq!(SimDuration::from_nanos(h.quantile_bound(0.99)), t.p99);
+        let slo = t.slo.expect("config sets a global SLO");
+        assert_eq!(t.slo_met, t.p50 <= slo.p50 && t.p99 <= slo.p99);
+    }
+}
