@@ -210,15 +210,33 @@ fn end_to_end() {
 }
 
 fn main() {
+    // Optional substring filters so a single group can be re-measured in
+    // isolation: `cargo bench --bench micro -- trace_overhead` runs only
+    // the groups whose name contains a filter (scripts/bench_guard.sh
+    // uses this for the observer-overhead gate). Cargo's own `--bench`
+    // style flags are ignored.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let wants =
+        |name: &str| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()));
+    let groups: [(&str, fn()); 10] = [
+        ("topology/access_cost", access_cost),
+        ("cost/rank_all_devices", cost_model_rank),
+        ("pool/alloc_free", pool_alloc_free),
+        ("ledger/reserve", ledger_reserve),
+        ("rs/reed_solomon", reed_solomon),
+        ("enforce/xor_cipher", cipher),
+        ("sched/heft", schedule_dag),
+        ("executor/events_per_sec", events_per_sec),
+        ("trace_overhead", trace_overhead),
+        ("e2e/hospital_job", end_to_end),
+    ];
     header("micro");
-    access_cost();
-    cost_model_rank();
-    pool_alloc_free();
-    ledger_reserve();
-    reed_solomon();
-    cipher();
-    schedule_dag();
-    events_per_sec();
-    trace_overhead();
-    end_to_end();
+    for (name, group) in groups {
+        if wants(name) {
+            group();
+        }
+    }
 }

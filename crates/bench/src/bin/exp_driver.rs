@@ -26,7 +26,10 @@
 //!                    with a full observer and write Perfetto-loadable
 //!                    Chrome traces, folded flamegraph stacks, and
 //!                    critical-path reports under DIR (validated before
-//!                    writing; exit 1 on an invalid trace)
+//!                    writing; exit 1 on an invalid trace); also writes
+//!                    a traced serving pass as serving.trace.json (one
+//!                    request-span lane per tenant) plus the
+//!                    exemplar-only serving.exemplars.trace.json
 //!   --metrics-out P  write the per-experiment metrics snapshots as one
 //!                    JSON object to P
 
@@ -135,6 +138,31 @@ fn main() {
                 eprintln!("trace artifacts: {dir}/{}.{{trace.json,folded.txt,critical.txt}}", art.id);
             }
             metrics_entries.push((art.id.clone(), art.metrics_json.clone()));
+        }
+        // A traced serving pass rides along: the full device+tenant
+        // trace plus the exemplar-only tail view, both validated.
+        if let Some(dir) = &trace_out {
+            match driver::serving_trace_artifacts(quick) {
+                Ok((full, exemplars)) => {
+                    for (name, body) in [
+                        ("serving.trace.json", &full),
+                        ("serving.exemplars.trace.json", &exemplars),
+                    ] {
+                        let path = format!("{dir}/{name}");
+                        if let Err(e) = std::fs::write(&path, body) {
+                            eprintln!("failed to write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                    eprintln!(
+                        "trace artifacts: {dir}/serving.{{trace.json,exemplars.trace.json}}"
+                    );
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
         }
         if let Some(path) = &metrics_out {
             let body = format!(

@@ -431,6 +431,39 @@ pub fn measure_serving_throughput(reps: usize, quick: bool) -> Throughput {
     Throughput { name: "serving_mix".into(), tasks, events, wall }
 }
 
+/// One traced saturation serving pass rendered as Perfetto documents:
+/// the full trace (device lanes plus one request-span lane per tenant)
+/// and the exemplar-only view (each tenant's p99 exemplar requests
+/// broken into latency-component segments). Both documents are
+/// validated before being returned, so callers never write a file
+/// Perfetto would reject.
+pub fn serving_trace_artifacts(quick: bool) -> Result<(String, String), String> {
+    let requests = if quick { 32 } else { 96 };
+    let layer = exp::serving::templates();
+    let cfg = exp::serving::saturated_config(requests);
+    let (topo, _rack) = disaggregated_rack(4, 8, 2, 32);
+    let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+    let report = layer
+        .run(&mut rt, &cfg)
+        .map_err(|e| format!("serving trace pass failed: {e}"))?;
+    let doc = disagg_core::obs::serving_chrome_trace(
+        rt.trace().events(),
+        rt.topology(),
+        &report.spans,
+    );
+    let stats = validate_chrome_trace(&doc).map_err(|e| format!("invalid serving trace: {e}"))?;
+    if stats.request_spans != report.admitted {
+        return Err(format!(
+            "serving trace carries {} request spans for {} admitted requests",
+            stats.request_spans, report.admitted
+        ));
+    }
+    let exemplars = disagg_core::obs::exemplar_chrome_trace(&report.spans)
+        .ok_or("serving pass produced no exemplar requests")?;
+    validate_chrome_trace(&exemplars).map_err(|e| format!("invalid exemplar trace: {e}"))?;
+    Ok((doc, exemplars))
+}
+
 /// Renders the machine-readable benchmark record (`BENCH_disagg.json`).
 /// Hand-rolled JSON keeps the workspace dependency-free.
 pub fn bench_json(
@@ -580,6 +613,56 @@ pub fn bench_json(
                     if i + 1 < rec.util_curve.len() { "," } else { "" },
                 ));
             }
+            out.push_str("    ],\n");
+            // Request-centric tail attribution at the knee: per tenant,
+            // the exact p99, the five-component breakdown (sums to the
+            // tenant's total request time), exemplar request ids, and
+            // the SLO burn curve. Virtual-time only, byte-identical
+            // across runs and shard counts.
+            out.push_str("    \"tail_attribution\": [\n");
+            for (i, ta) in rec.tail_attribution.iter().enumerate() {
+                let a = &ta.total;
+                let exemplars: Vec<String> =
+                    ta.exemplars.iter().map(u64::to_string).collect();
+                out.push_str(&format!(
+                    "      {{\"tenant\": {}, \"requests\": {}, \"p99_ns\": {}, \
+                     \"admission_ns\": {}, \"queue_ns\": {}, \"compute_ns\": {}, \
+                     \"transfer_ns\": {}, \"recovery_ns\": {}, \"dominant\": \"{}\", \
+                     \"exemplars\": [{}], \"burn\": [",
+                    ta.tenant,
+                    ta.requests,
+                    ta.p99.0,
+                    a.admission.0,
+                    a.queue.0,
+                    a.compute.0,
+                    a.transfer.0,
+                    a.recovery.0,
+                    ta.dominant.name(),
+                    exemplars.join(", "),
+                ));
+                let burn = rec
+                    .burn
+                    .iter()
+                    .find(|b| b.tenant == ta.tenant)
+                    .map(|b| b.windows.as_slice())
+                    .unwrap_or(&[]);
+                for (j, w) in burn.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{}{{\"start_ns\": {}, \"end_ns\": {}, \"good\": {}, \"bad\": {}, \
+                         \"rate\": {:.4}}}",
+                        if j == 0 { "" } else { ", " },
+                        w.start.0,
+                        w.end.0,
+                        w.good,
+                        w.bad,
+                        w.burn_rate(),
+                    ));
+                }
+                out.push_str(&format!(
+                    "]}}{}\n",
+                    if i + 1 < rec.tail_attribution.len() { "," } else { "" },
+                ));
+            }
             out.push_str("    ]\n  }\n");
         }
     }
@@ -694,11 +777,38 @@ mod tests {
                 slo_met: true,
             }],
             util_curve: vec![(SimDuration::ZERO, 0.0), (SimDuration(4_500), 0.125)],
+            tail_attribution: vec![disagg_obs::TenantAttribution {
+                tenant: 0,
+                requests: 7,
+                total: disagg_obs::Attribution {
+                    admission: SimDuration(100),
+                    queue: SimDuration(5_000),
+                    compute: SimDuration(3_000),
+                    transfer: SimDuration(400),
+                    recovery: SimDuration(0),
+                },
+                p99: SimDuration(5_000),
+                exemplars: vec![3, 5],
+                dominant: disagg_obs::SegmentKind::Queue,
+            }],
+            burn: vec![disagg_obs::TenantBurn {
+                tenant: 0,
+                windows: vec![disagg_obs::BurnWindow {
+                    start: disagg_hwsim::time::SimTime(0),
+                    end: disagg_hwsim::time::SimTime(4_500),
+                    good: 6,
+                    bad: 1,
+                }],
+            }],
         };
         let s = bench_json(&exps, &thru, &scaling, &chaos, Some(&serving), true, 4);
         assert!(s.contains("\"schema\": \"disagg-bench-v1\""));
         assert!(s.contains("\"serving\": {"));
         assert!(s.contains("\"knee\": {\"load\": \"1.00x\""));
+        assert!(s.contains("\"tail_attribution\": ["));
+        assert!(s.contains("\"dominant\": \"queue\""));
+        assert!(s.contains("\"exemplars\": [3, 5]"));
+        assert!(s.contains("\"rate\": 14.2857"), "1 bad of 7 burns ~14x the 1% budget");
         assert!(s.contains("\"peak_util\": 0.125000"));
         assert!(s.contains("\"slo_met\": true"));
         let without = bench_json(&exps, &thru, &scaling, &chaos, None, true, 4);

@@ -15,6 +15,7 @@ use disagg_dataflow::{JobBuilder, TaskSpec};
 use disagg_hwsim::compute::WorkClass;
 use disagg_hwsim::presets::disaggregated_rack;
 use disagg_hwsim::time::SimDuration;
+use disagg_obs::{TenantAttribution, TenantBurn};
 use disagg_serve::{ArrivalProcess, Request, ServeConfig, ServeLayer, Slo};
 
 use crate::{fmt_dur, Table};
@@ -82,6 +83,13 @@ pub struct ServingRecord {
     /// Pooled-memory utilization over the knee run as
     /// `(offset, fraction)` samples.
     pub util_curve: Vec<(SimDuration, f64)>,
+    /// Per-tenant tail-latency attribution at the knee: exact p99, the
+    /// summed component breakdown, the dominant component, and the
+    /// exemplar request ids behind the tail.
+    pub tail_attribution: Vec<TenantAttribution>,
+    /// Per-tenant SLO burn curves at the knee (aligned virtual-time
+    /// windows of good/bad counts against each tenant's p99 SLO).
+    pub burn: Vec<TenantBurn>,
 }
 
 /// The heterogeneous template mix: an interactive point lookup, a small
@@ -242,7 +250,17 @@ pub fn measure(quick: bool) -> ServingRecord {
         .map(|s| (s.at, s.frac))
         .collect();
 
-    ServingRecord { tenants, requests, seed, sweep, knee, knee_tenants, util_curve }
+    ServingRecord {
+        tenants,
+        requests,
+        seed,
+        sweep,
+        knee,
+        knee_tenants,
+        util_curve,
+        tail_attribution: knee_report.tail_attribution.clone(),
+        burn: knee_report.burn.clone(),
+    }
 }
 
 /// The saturation-load serving config the throughput guard wall-clocks
@@ -293,6 +311,22 @@ pub fn run(quick: bool) -> Table {
         met,
         rec.knee_tenants.len()
     ));
+    if !rec.tail_attribution.is_empty() {
+        let parts: Vec<String> = rec
+            .tail_attribution
+            .iter()
+            .map(|ta| {
+                format!(
+                    "t{} p99={} <- {} (exemplars {:?})",
+                    ta.tenant,
+                    fmt_dur(ta.p99),
+                    ta.dominant.name(),
+                    ta.exemplars
+                )
+            })
+            .collect();
+        t.note(format!("tail attribution at the knee: {}", parts.join("; ")));
+    }
     t
 }
 
@@ -315,6 +349,15 @@ mod tests {
         assert!(rec.knee < rec.sweep.len());
         assert_eq!(rec.knee_tenants.len(), rec.tenants);
         assert!(!rec.util_curve.is_empty(), "traced runs carry a utilization curve");
+        assert!(
+            !rec.tail_attribution.is_empty(),
+            "traced knee run carries tail attribution"
+        );
+        for ta in &rec.tail_attribution {
+            assert!(!ta.exemplars.is_empty(), "tenant {} has exemplars", ta.tenant);
+            assert!(ta.total.total() > SimDuration::ZERO);
+        }
+        assert!(!rec.burn.is_empty(), "SLO-carrying tenants burn budget visibly");
     }
 
     #[test]

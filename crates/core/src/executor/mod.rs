@@ -285,11 +285,14 @@ fn stage_all(shards: &mut [ShardState], window_end: Option<SimTime>) {
 }
 
 /// Runs one admission wave (the whole batch when admission is off).
-/// `offsets` are per-job arrival delays relative to the wave start.
+/// `offsets` are per-job arrival delays relative to the wave start;
+/// `tags` are optional per-job `(request, tenant)` identities stamped
+/// into the trace at arrival for request-centric attribution.
 pub(crate) fn run_wave(
     rt: &mut Runtime,
     jobs: Vec<JobSpec>,
     offsets: Vec<SimDuration>,
+    tags: Vec<Option<(u64, u64)>>,
 ) -> Result<RunReport, DisaggError> {
     let t0 = rt.clock;
     let trace_mark = rt.trace.len();
@@ -390,9 +393,19 @@ pub(crate) fn run_wave(
     };
 
     // Seed the frontier: source tasks become ready when their job
-    // arrives.
+    // arrives. Request-tagged jobs stamp their identity into the trace
+    // here — serially, before any event commits, so the tag block is
+    // bit-for-bit identical at every shard count.
     for (ji, spec) in jobs.iter().enumerate() {
         let arrival = t0 + offsets[ji];
+        if let Some(&Some((request, tenant))) = tags.get(ji) {
+            rt.trace.push(TraceEvent::RequestTag {
+                request,
+                tenant,
+                job: w.job_ids[ji].0,
+                at: arrival,
+            });
+        }
         for task in spec.dag.frontier() {
             w.seed_event(arrival, EventKind::Ready { ji, task });
         }

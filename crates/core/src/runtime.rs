@@ -194,7 +194,7 @@ impl Runtime {
     /// offsets preserved across waves — resource-aware scheduling
     /// instead of a hard placement failure.
     pub fn execute(&mut self, sub: impl Into<Submission>) -> Result<RunReport, RuntimeError> {
-        let Submission { jobs, offsets, admission } = sub.into();
+        let Submission { jobs, offsets, admission, tags } = sub.into();
         if let Some(offs) = &offsets {
             if offs.len() != jobs.len() {
                 return Err(DisaggError::Submission {
@@ -203,14 +203,26 @@ impl Runtime {
                 });
             }
         }
+        if let Some(tags) = &tags {
+            if tags.len() != jobs.len() {
+                return Err(DisaggError::Submission {
+                    jobs: jobs.len(),
+                    offsets: tags.len(),
+                });
+            }
+        }
         let n = jobs.len();
         let offsets = offsets.unwrap_or_else(|| vec![SimDuration::ZERO; n]);
+        let tags: Vec<Option<(u64, u64)>> = match tags {
+            Some(t) => t.into_iter().map(Some).collect(),
+            None => vec![None; n],
+        };
         let watermark = match admission {
             Some(AdmissionPolicy::Open) => None,
             Some(AdmissionPolicy::Watermark(w)) => Some(w),
             None => self.config.admission_watermark,
         };
-        let report = self.run_waves(jobs, offsets, watermark)?;
+        let report = self.run_waves(jobs, offsets, tags, watermark)?;
         // Online reconstruction: heal persistent regions whose device
         // died during the run (a no-op without scheduled faults).
         if !self.config.faults.is_empty() {
@@ -223,10 +235,11 @@ impl Runtime {
         &mut self,
         jobs: Vec<JobSpec>,
         offsets: Vec<SimDuration>,
+        tags: Vec<Option<(u64, u64)>>,
         watermark: Option<f64>,
     ) -> Result<RunReport, RuntimeError> {
         let Some(watermark) = watermark else {
-            return crate::executor::run_wave(self, jobs, offsets);
+            return crate::executor::run_wave(self, jobs, offsets, tags);
         };
         let free: u64 = self
             .topo
@@ -243,29 +256,40 @@ impl Runtime {
         let mut combined = RunReport::default();
         let mut wave: Vec<JobSpec> = Vec::new();
         let mut wave_offsets: Vec<SimDuration> = Vec::new();
+        let mut wave_tags: Vec<Option<(u64, u64)>> = Vec::new();
         let mut wave_bytes = 0u64;
-        let mut queue: std::collections::VecDeque<(JobSpec, SimDuration)> =
-            jobs.into_iter().zip(offsets).collect();
-        while let Some((job, offset)) = queue.pop_front() {
+        type Pending = (JobSpec, SimDuration, Option<(u64, u64)>);
+        let mut queue: std::collections::VecDeque<Pending> = jobs
+            .into_iter()
+                .zip(offsets)
+                .zip(tags)
+                .map(|((j, o), t)| (j, o, t))
+                .collect();
+        while let Some((job, offset, tag)) = queue.pop_front() {
             let fp = Self::predicted_footprint(&job);
             if !wave.is_empty() && wave_bytes + fp > budget {
                 let start = self.clock;
                 let offs: Vec<SimDuration> =
                     wave_offsets.drain(..).map(|o| (t0 + o) - start).collect();
-                let report =
-                    crate::executor::run_wave(self, std::mem::take(&mut wave), offs)?;
+                let report = crate::executor::run_wave(
+                    self,
+                    std::mem::take(&mut wave),
+                    offs,
+                    std::mem::take(&mut wave_tags),
+                )?;
                 merge_reports(&mut combined, report);
                 wave_bytes = 0;
             }
             wave_bytes += fp;
             wave.push(job);
             wave_offsets.push(offset);
+            wave_tags.push(tag);
         }
         if !wave.is_empty() {
             let start = self.clock;
             let offs: Vec<SimDuration> =
                 wave_offsets.drain(..).map(|o| (t0 + o) - start).collect();
-            let report = crate::executor::run_wave(self, wave, offs)?;
+            let report = crate::executor::run_wave(self, wave, offs, wave_tags)?;
             merge_reports(&mut combined, report);
         }
         Ok(combined)
@@ -361,6 +385,8 @@ impl Runtime {
                 bytes: placement.size,
                 at: now,
                 took,
+                job: None,
+                task: None,
             });
             longest = longest.max(took);
             healed.push((id, dev));

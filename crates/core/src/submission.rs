@@ -65,12 +65,18 @@ pub struct Submission {
     pub(crate) jobs: Vec<JobSpec>,
     pub(crate) offsets: Option<Vec<SimDuration>>,
     pub(crate) admission: Option<AdmissionPolicy>,
+    /// Per-job `(request, tenant)` identities for request-centric
+    /// observability. When set, the executor stamps a
+    /// [`TraceEvent::RequestTag`](disagg_hwsim::trace::TraceEvent) per
+    /// job at its arrival, so the whole trace can be attributed back to
+    /// requests; untagged submissions emit nothing extra.
+    pub(crate) tags: Option<Vec<(u64, u64)>>,
 }
 
 impl Submission {
     /// A closed batch: every job arrives at the current virtual time.
     pub fn batch(jobs: Vec<JobSpec>) -> Submission {
-        Submission { jobs, offsets: None, admission: None }
+        Submission { jobs, offsets: None, admission: None, tags: None }
     }
 
     /// A single job (the old `submit` shape).
@@ -83,7 +89,7 @@ impl Submission {
     /// offset relative to the current virtual time.
     pub fn arriving(arrivals: Vec<(SimDuration, JobSpec)>) -> Submission {
         let (offsets, jobs): (Vec<_>, Vec<_>) = arrivals.into_iter().unzip();
-        Submission { jobs, offsets: Some(offsets), admission: None }
+        Submission { jobs, offsets: Some(offsets), admission: None, tags: None }
     }
 
     /// Attaches per-job arrival offsets (must be one per job; checked
@@ -96,6 +102,15 @@ impl Submission {
     /// Overrides the runtime's admission policy for this submission.
     pub fn admission(mut self, policy: AdmissionPolicy) -> Submission {
         self.admission = Some(policy);
+        self
+    }
+
+    /// Attaches per-job `(request, tenant)` identities (must be one per
+    /// job; checked at execution time). Each tagged job gets a
+    /// `RequestTag` trace event at its arrival so spans, retries, and
+    /// reconstructions can be attributed to the owning request.
+    pub fn requests(mut self, tags: Vec<(u64, u64)>) -> Submission {
+        self.tags = Some(tags);
         self
     }
 
@@ -150,10 +165,12 @@ mod tests {
 
         let s = Submission::job(job("solo"))
             .arrivals(vec![SimDuration::from_nanos(5)])
-            .admission(AdmissionPolicy::Watermark(0.5));
+            .admission(AdmissionPolicy::Watermark(0.5))
+            .requests(vec![(17, 3)]);
         assert_eq!(s.len(), 1);
         assert_eq!(s.offsets.as_ref().unwrap().len(), 1);
         assert_eq!(s.admission, Some(AdmissionPolicy::Watermark(0.5)));
+        assert_eq!(s.tags.as_ref().unwrap(), &[(17, 3)]);
 
         let s = Submission::arriving(vec![
             (SimDuration::ZERO, job("x")),

@@ -171,6 +171,26 @@ pub enum TraceEvent {
         at: SimTime,
         /// Simulated transfer + decode cost.
         took: SimDuration,
+        /// Job of the task whose access triggered the rebuild (`None`
+        /// when the rebuild ran outside any task, e.g. post-wave heal).
+        job: Option<u64>,
+        /// Task index of the triggering task, if any.
+        task: Option<u64>,
+    },
+    /// A served request's identity, stamped once per job at submission
+    /// time so every later `job`-carrying event in the same trace can be
+    /// attributed back to the request (and tenant) that caused it.
+    /// Emitted only for request-annotated submissions: plain batch runs
+    /// never see it, so their traces are unchanged.
+    RequestTag {
+        /// Request identifier (the serving layer's request index).
+        request: u64,
+        /// Tenant the request belongs to.
+        tenant: u64,
+        /// The job instantiated for the request.
+        job: u64,
+        /// The job's arrival time.
+        at: SimTime,
     },
 }
 
@@ -189,7 +209,8 @@ impl TraceEvent {
             | TraceEvent::TaskDispatch { at, .. }
             | TraceEvent::FaultDetected { at, .. }
             | TraceEvent::TaskRetry { at, .. }
-            | TraceEvent::Reconstruct { at, .. } => at,
+            | TraceEvent::Reconstruct { at, .. }
+            | TraceEvent::RequestTag { at, .. } => at,
         }
     }
 }
@@ -328,10 +349,31 @@ impl Trace {
     /// abstraction layers; the answer starts with being able to get the
     /// events out.
     pub fn to_csv(&self) -> String {
+        // Request attribution pre-pass: `RequestTag` events map jobs to
+        // the serving request that instantiated them, so every
+        // job-carrying row can be grepped per request.
+        let mut req_of_job: std::collections::BTreeMap<u64, u64> = Default::default();
+        for e in &self.events {
+            if let TraceEvent::RequestTag { request, job, .. } = *e {
+                req_of_job.insert(job, request);
+            }
+        }
+        let req = |job: u64| req_of_job.get(&job).map(|r| r.to_string()).unwrap_or_default();
         let mut out = String::from(
-            "kind,at_ns,took_ns,region,dev_from,dev_to,bytes,job,task,from_task,to_task,op\n",
+            "kind,at_ns,took_ns,region,dev_from,dev_to,bytes,job,task,from_task,to_task,op,request\n",
         );
         for e in &self.events {
+            let request = match *e {
+                TraceEvent::TaskStart { job, .. }
+                | TraceEvent::TaskFinish { job, .. }
+                | TraceEvent::TaskQueued { job, .. }
+                | TraceEvent::TaskDispatch { job, .. }
+                | TraceEvent::FaultDetected { job, .. }
+                | TraceEvent::TaskRetry { job, .. }
+                | TraceEvent::Reconstruct { job: Some(job), .. } => req(job),
+                TraceEvent::RequestTag { request, .. } => request.to_string(),
+                _ => String::new(),
+            };
             let line = match *e {
                 TraceEvent::Alloc { region, dev, bytes, at } => {
                     format!("alloc,{},,{region},{},,{bytes},,,,,", at.as_nanos(), dev.0)
@@ -395,16 +437,23 @@ impl Trace {
                         to.0
                     )
                 }
-                TraceEvent::Reconstruct { region, dev, bytes, at, took } => {
+                TraceEvent::Reconstruct { region, dev, bytes, at, took, job, task } => {
                     format!(
-                        "reconstruct,{},{},{region},{},,{bytes},,,,,",
+                        "reconstruct,{},{},{region},{},,{bytes},{},{},,,",
                         at.as_nanos(),
                         took.as_nanos(),
-                        dev.0
+                        dev.0,
+                        job.map(|j| j.to_string()).unwrap_or_default(),
+                        task.map(|t| t.to_string()).unwrap_or_default()
                     )
+                }
+                TraceEvent::RequestTag { request: _, tenant, job, at } => {
+                    format!("request_tag,{},,,,,,{job},,,,tenant{tenant}", at.as_nanos())
                 }
             };
             out.push_str(&line);
+            out.push(',');
+            out.push_str(&request);
             out.push('\n');
         }
         out
@@ -502,6 +551,7 @@ mod tests {
     #[test]
     fn csv_export_covers_every_event_kind() {
         let mut t = Trace::enabled();
+        t.push(TraceEvent::RequestTag { request: 7, tenant: 2, job: 0, at: SimTime(0) });
         t.push(TraceEvent::Alloc { region: 1, dev: MemDeviceId(0), bytes: 64, at: SimTime(1) });
         t.push(access(0, 64));
         t.push(TraceEvent::Migrate {
@@ -544,14 +594,17 @@ mod tests {
             bytes: 64,
             at: SimTime(5),
             took: SimDuration(7),
+            job: Some(0),
+            task: Some(1),
         });
         t.push(TraceEvent::TaskFinish { job: 0, task: 1, on: ComputeId(0), at: SimTime(5) });
         t.push(TraceEvent::Free { region: 1, dev: MemDeviceId(1), bytes: 64, at: SimTime(6) });
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 13, "header + 12 events");
+        assert_eq!(lines.len(), 14, "header + 13 events");
         assert!(lines[0].starts_with("kind,at_ns"));
         for kind in [
+            "request_tag",
             "alloc",
             "access",
             "migrate",
@@ -582,6 +635,17 @@ mod tests {
         assert_eq!(fields[from_col], "0");
         assert_eq!(fields[to_col], "1");
         assert!(!transfer.contains("->"), "no packed endpoints: {transfer}");
+        // The request column resolves every job-0 row to request 7 via
+        // the tag, including the reconstruct's owning task.
+        let req_col = header.iter().position(|&h| h == "request").unwrap();
+        for kind in ["task_start", "task_retry", "fault_detected", "reconstruct", "request_tag"] {
+            let row = lines.iter().find(|l| l.starts_with(kind)).unwrap();
+            let fields: Vec<&str> = row.split(',').collect();
+            assert_eq!(fields[req_col], "7", "{kind} row carries its owning request");
+        }
+        // Non-job rows leave the column empty.
+        let alloc = lines.iter().find(|l| l.starts_with("alloc")).unwrap();
+        assert_eq!(alloc.split(',').nth(req_col).unwrap(), "");
     }
 
     #[test]

@@ -10,12 +10,19 @@
 //! deterministic. Load the file at `ui.perfetto.dev` or
 //! `chrome://tracing`.
 //!
+//! Serving runs get a third process: [`serving_chrome_trace`] adds one
+//! lane per *tenant* carrying that tenant's request spans (arrival →
+//! last finish, with the five-way latency attribution in `args`), and
+//! [`exemplar_chrome_trace`] exports only each tenant's p99 exemplar
+//! requests with their per-segment breakdown — the "open the three
+//! worst requests in Perfetto" workflow.
+//!
 //! [`validate_chrome_trace`] is the matching reader: it re-parses an
 //! emitted document with [`crate::json`] and checks the structural
 //! invariants (non-empty, named lanes, well-formed spans), so tests and
 //! `exp_driver --trace-out` never write a file Perfetto would reject.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 use disagg_hwsim::device::AccessOp;
@@ -24,11 +31,14 @@ use disagg_hwsim::trace::TraceEvent;
 
 use crate::analyze::TaskSpan;
 use crate::json::{self, Value};
+use crate::request::{tail_attribution, RequestSpan};
 
 /// Perfetto "process" grouping the compute-device lanes.
 const PID_COMPUTE: u32 = 1;
 /// Perfetto "process" grouping the memory-device lanes.
 const PID_MEM: u32 = 2;
+/// Perfetto "process" grouping the per-tenant request lanes.
+const PID_TENANT: u32 = 3;
 
 /// Renders virtual nanoseconds as a microsecond literal with three
 /// fractional digits — integer math, so deterministic.
@@ -63,9 +73,22 @@ fn instant(out: &mut String, pid: u32, tid: u32, name: &str, ts: u64, args: &str
     );
 }
 
+fn wrap(parts: Vec<String>) -> String {
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
+        parts.join(",\n")
+    )
+}
+
 /// Renders an event stream as a Chrome trace-event JSON document with
 /// one lane per device of `topo`.
 pub fn chrome_trace(events: &[TraceEvent], topo: &Topology) -> String {
+    wrap(device_parts(events, topo))
+}
+
+/// The device-lane entries shared by [`chrome_trace`] and
+/// [`serving_chrome_trace`].
+fn device_parts(events: &[TraceEvent], topo: &Topology) -> Vec<String> {
     let mut parts: Vec<String> = Vec::new();
 
     // Lane names first: process_name for the two groups, thread_name
@@ -221,7 +244,7 @@ pub fn chrome_trace(events: &[TraceEvent], topo: &Topology) -> String {
                     ),
                 );
             }
-            TraceEvent::Reconstruct { region, dev, bytes, at, took } => {
+            TraceEvent::Reconstruct { region, dev, bytes, at, took, .. } => {
                 span(
                     &mut s,
                     PID_MEM,
@@ -232,17 +255,117 @@ pub fn chrome_trace(events: &[TraceEvent], topo: &Topology) -> String {
                     &format!("\"region\":{region},\"bytes\":{bytes}"),
                 );
             }
-            TraceEvent::TaskFinish { .. } | TraceEvent::TaskQueued { .. } => {}
+            TraceEvent::TaskFinish { .. }
+            | TraceEvent::TaskQueued { .. }
+            | TraceEvent::RequestTag { .. } => {}
         }
         if !s.is_empty() {
             parts.push(s);
         }
     }
 
+    parts
+}
+
+/// Per-request attribution rendered as span args.
+fn span_args(s: &RequestSpan) -> String {
+    let a = &s.attribution;
     format!(
-        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
-        parts.join(",\n")
+        "\"request\":{},\"tenant\":{},\"job\":{},\"latency_ns\":{},\"admission_ns\":{},\"queue_ns\":{},\"compute_ns\":{},\"transfer_ns\":{},\"recovery_ns\":{},\"dominant\":\"{}\"",
+        s.request,
+        s.tenant,
+        s.job,
+        s.latency().as_nanos(),
+        a.admission.as_nanos(),
+        a.queue.as_nanos(),
+        a.compute.as_nanos(),
+        a.transfer.as_nanos(),
+        a.recovery.as_nanos(),
+        a.dominant().name(),
     )
+}
+
+/// One lane per tenant, one complete span per request. With
+/// `with_segments`, each request additionally carries its
+/// single-component segments as child spans (they tile the request
+/// span, so Perfetto nests them).
+fn tenant_parts(spans: &[RequestSpan], with_segments: bool) -> Vec<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut m = String::new();
+    meta(&mut m, PID_TENANT, 0, "process_name", "serving");
+    parts.push(std::mem::take(&mut m));
+    let tenants: BTreeSet<u64> = spans.iter().map(|s| s.tenant).collect();
+    for &t in &tenants {
+        meta(&mut m, PID_TENANT, t as u32, "thread_name", &format!("tenant{t}"));
+        parts.push(std::mem::take(&mut m));
+    }
+    for s in spans {
+        let mut p = String::new();
+        span(
+            &mut p,
+            PID_TENANT,
+            s.tenant as u32,
+            &format!("req{}", s.request),
+            s.arrival.as_nanos(),
+            s.latency().as_nanos(),
+            &span_args(s),
+        );
+        parts.push(p);
+        if with_segments {
+            for seg in s.segments.iter().filter(|seg| !seg.is_empty()) {
+                let mut p = String::new();
+                let args = match seg.task {
+                    Some(task) => format!("\"request\":{},\"task\":{task}", s.request),
+                    None => format!("\"request\":{}", s.request),
+                };
+                span(
+                    &mut p,
+                    PID_TENANT,
+                    s.tenant as u32,
+                    seg.kind.name(),
+                    seg.start.as_nanos(),
+                    seg.len().as_nanos(),
+                    &args,
+                );
+                parts.push(p);
+            }
+        }
+    }
+    parts
+}
+
+/// Renders a serving run: the full device-lane trace of
+/// [`chrome_trace`] plus one lane per tenant carrying request spans
+/// with their latency attribution in `args`. Load at `ui.perfetto.dev`
+/// and correlate a slow request against the device lanes below it.
+pub fn serving_chrome_trace(
+    events: &[TraceEvent],
+    topo: &Topology,
+    spans: &[RequestSpan],
+) -> String {
+    let mut parts = device_parts(events, topo);
+    parts.extend(tenant_parts(spans, false));
+    wrap(parts)
+}
+
+/// Renders only each tenant's p99 exemplar requests (per
+/// [`tail_attribution`]), each broken into its single-component
+/// segments — a small document focused on *why* the tail was slow.
+/// Returns `None` when there are no spans to export.
+pub fn exemplar_chrome_trace(spans: &[RequestSpan]) -> Option<String> {
+    let ids: BTreeSet<u64> = tail_attribution(spans)
+        .into_iter()
+        .flat_map(|t| t.exemplars)
+        .collect();
+    let exemplars: Vec<RequestSpan> = spans
+        .iter()
+        .filter(|s| ids.contains(&s.request))
+        .cloned()
+        .collect();
+    if exemplars.is_empty() {
+        return None;
+    }
+    Some(wrap(tenant_parts(&exemplars, true)))
 }
 
 /// What [`validate_chrome_trace`] learned about a document.
@@ -255,6 +378,9 @@ pub struct ChromeTraceStats {
     pub task_spans: usize,
     /// Complete spans on memory lanes (accesses and migrations).
     pub mem_spans: usize,
+    /// Complete spans on tenant lanes (request spans and their
+    /// segments, from the serving exports).
+    pub request_spans: usize,
     /// Named lanes (thread_name metadata entries).
     pub lanes: usize,
     /// Earliest span start, in virtual nanoseconds.
@@ -313,6 +439,7 @@ pub fn validate_chrome_trace(doc: &str) -> Result<ChromeTraceStats, String> {
                 match pid {
                     PID_COMPUTE => stats.task_spans += 1,
                     PID_MEM => stats.mem_spans += 1,
+                    PID_TENANT => stats.request_spans += 1,
                     other => return Err(format!("span in unknown process {other}")),
                 }
             }
@@ -441,6 +568,46 @@ mod tests {
         // A span missing dur must be rejected.
         let bad = "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"t\",\"ts\":0}]}";
         assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    fn serving_events() -> Vec<TraceEvent> {
+        let mut events = sample_events();
+        events.insert(
+            0,
+            TraceEvent::RequestTag { request: 9, tenant: 2, job: 0, at: SimTime(0) },
+        );
+        events
+    }
+
+    #[test]
+    fn serving_trace_adds_one_lane_per_tenant() {
+        let (topo, _) = presets::single_server();
+        let events = serving_events();
+        let spans = crate::request::assemble_request_spans(&events);
+        assert_eq!(spans.len(), 1);
+        let doc = serving_chrome_trace(&events, &topo, &spans);
+        let stats = validate_chrome_trace(&doc).expect("serving trace must validate");
+        let device_lanes = topo.compute_devices().len() + topo.mem_devices().len();
+        assert_eq!(stats.lanes, device_lanes + 1, "one extra lane for tenant 2");
+        assert_eq!(stats.request_spans, 1, "one request span");
+        assert_eq!(stats.task_spans, 2, "device lanes still present");
+        assert!(doc.contains("\"tenant2\""), "{doc}");
+        assert!(doc.contains("\"dominant\""), "attribution rides in args");
+        // Deterministic output.
+        assert_eq!(doc, serving_chrome_trace(&events, &topo, &spans));
+    }
+
+    #[test]
+    fn exemplar_trace_exports_only_tail_requests_with_segments() {
+        let events = serving_events();
+        let spans = crate::request::assemble_request_spans(&events);
+        let doc = exemplar_chrome_trace(&spans).expect("one exemplar");
+        let stats = validate_chrome_trace(&doc).expect("exemplar trace must validate");
+        // The request span plus its component segments, nothing else.
+        assert_eq!(stats.request_spans, 1 + spans[0].segments.len());
+        assert_eq!(stats.task_spans, 0, "no device lanes in the exemplar view");
+        assert!(doc.contains("req9"), "{doc}");
+        assert!(exemplar_chrome_trace(&[]).is_none());
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   DAG with per-layer attribution (compute / memory stall / runtime);
 //! - [`export`] — Chrome trace-event JSON (loadable in Perfetto, one
 //!   lane per compute/memory device) and folded flamegraph stacks;
+//! - [`request`] — request-centric spans: per-request causal span
+//!   assembly from `RequestTag`-stamped traces, an exact five-way
+//!   latency decomposition (admission / queue / compute / transfer /
+//!   recovery), per-tenant tail attribution with p99 exemplars, and
+//!   SLO burn-rate curves;
 //! - [`json`] — a dependency-free JSON reader used to validate emitted
 //!   traces.
 //!
@@ -35,12 +40,20 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod observer;
+pub mod request;
 pub mod sharded;
 pub mod timeline;
 
 pub use analyze::{critical_paths, render_critical_paths, CriticalPath, TaskSpan};
-pub use export::{chrome_trace, folded_stacks, validate_chrome_trace, ChromeTraceStats};
+pub use export::{
+    chrome_trace, exemplar_chrome_trace, folded_stacks, serving_chrome_trace,
+    validate_chrome_trace, ChromeTraceStats,
+};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry, MetricsSnapshot};
 pub use observer::{CollectingObserver, FullObserver, NullObserver, Observer, ObserverSlot};
+pub use request::{
+    assemble_request_spans, slo_burn, slo_burn_by, tail_attribution, Attribution, BurnWindow,
+    RequestSpan, Segment, SegmentKind, TenantAttribution, TenantBurn,
+};
 pub use sharded::{merge_stamped, merge_stamped_into, ShardLanes, Stamped};
 pub use timeline::{DeviceTimelines, Timeline, TimelineRecorder};

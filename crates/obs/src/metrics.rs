@@ -51,6 +51,16 @@ pub fn bucket_of(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
 }
 
+/// The inclusive value range `[lo, hi]` a log2 bucket covers.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        1 => (1, 1),
+        i if i >= 64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
 impl Histogram {
     /// Records one value.
     pub fn observe(&mut self, v: u64) {
@@ -70,9 +80,14 @@ impl Histogram {
         }
     }
 
-    /// Upper bound of the smallest bucket holding the p-quantile
-    /// (`p` in `[0, 1]`): a deterministic percentile estimate with
-    /// power-of-two resolution.
+    /// Deterministic percentile estimate (`p` in `[0, 1]`): locates the
+    /// bucket holding the p-quantile's rank, then linearly interpolates
+    /// *within* the bucket assuming its values spread evenly over
+    /// `[lo, hi]` — the `pos`-th of `n` values lands at
+    /// `lo + span * pos / (n + 1)`. Integer math throughout, so the
+    /// estimate is bit-for-bit reproducible; before this interpolation
+    /// the function returned the bucket's upper bound, quantizing every
+    /// percentile to a power of two.
     pub fn quantile_bound(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -80,16 +95,16 @@ impl Histogram {
         let rank = ((self.count as f64 * p).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return if i == 0 {
-                    0
-                } else if i >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << i) - 1
-                };
+            if n == 0 {
+                continue;
             }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let pos = (rank - seen) as u128;
+                let span = (hi - lo) as u128;
+                return lo + (span * pos / (n as u128 + 1)) as u64;
+            }
+            seen += n;
         }
         self.max
     }
@@ -134,11 +149,37 @@ impl HistogramSnapshot {
     }
 }
 
-/// Counters + histograms keyed by name.
+/// Virtual-time epoch length for per-region access-temperature
+/// tracking: accesses are bucketed into fixed 1 ms windows of virtual
+/// time, the granularity an epoch re-planner would act on.
+pub const TEMP_EPOCH_NS: u64 = 1_000_000;
+
+/// One region's access temperature over one epoch window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionTemperature {
+    /// Region identifier.
+    pub region: u64,
+    /// Epoch index (`at / TEMP_EPOCH_NS` of the accesses).
+    pub epoch: u64,
+    /// Accesses (reads, writes, migrations) landing in the window.
+    pub accesses: u64,
+    /// Bytes touched in the window.
+    pub bytes: u64,
+    /// log2 bucket of the access count — the "heat" a tiering policy
+    /// compares against thresholds.
+    pub heat: u8,
+    /// log2 bucket of the bytes touched.
+    pub heat_bytes: u8,
+}
+
+/// Counters + histograms keyed by name, plus per-region per-epoch
+/// access temperatures.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    /// `(region, epoch) -> (accesses, bytes)`, ordered for determinism.
+    temps: BTreeMap<(u64, u64), (u64, u64)>,
 }
 
 impl MetricsRegistry {
@@ -190,19 +231,21 @@ impl MetricsRegistry {
                 self.incr(&format!("dev.mem{}.allocs", dev.0), 1);
             }
             TraceEvent::Free { .. } => self.incr("events.free", 1),
-            TraceEvent::Access { dev, bytes, took, .. } => {
+            TraceEvent::Access { region, dev, bytes, at, took, .. } => {
                 self.incr("events.access", 1);
                 self.incr("bytes.moved", bytes);
                 self.incr(&format!("dev.mem{}.bytes", dev.0), bytes);
                 self.observe("access_ns", took.as_nanos());
+                self.touch_region(region, at.as_nanos(), bytes);
             }
-            TraceEvent::Migrate { from, to, bytes, took, .. } => {
+            TraceEvent::Migrate { region, from, to, bytes, at, took } => {
                 self.incr("events.migrate", 1);
                 self.incr("bytes.moved", bytes);
                 self.incr(&format!("dev.mem{}.bytes", from.0), bytes);
                 self.incr(&format!("dev.mem{}.bytes", to.0), bytes);
                 self.observe("migrate_bytes", bytes);
                 self.observe("migrate_ns", took.as_nanos());
+                self.touch_region(region, at.as_nanos(), bytes);
             }
             TraceEvent::OwnershipTransfer { bytes, .. } => {
                 self.incr("events.transfer", 1);
@@ -236,7 +279,34 @@ impl MetricsRegistry {
                 self.incr("bytes.reconstructed", bytes);
                 self.observe("reconstruct_ns", took.as_nanos());
             }
+            TraceEvent::RequestTag { .. } => self.incr("events.request_tag", 1),
         }
+    }
+
+    /// Charges one access against a region's current epoch window.
+    fn touch_region(&mut self, region: u64, at_ns: u64, bytes: u64) {
+        let e = self
+            .temps
+            .entry((region, at_ns / TEMP_EPOCH_NS))
+            .or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes;
+    }
+
+    /// The per-region per-epoch access temperatures recorded so far,
+    /// in `(region, epoch)` order.
+    pub fn temperatures(&self) -> Vec<RegionTemperature> {
+        self.temps
+            .iter()
+            .map(|(&(region, epoch), &(accesses, bytes))| RegionTemperature {
+                region,
+                epoch,
+                accesses,
+                bytes,
+                heat: bucket_of(accesses) as u8,
+                heat_bytes: bucket_of(bytes) as u8,
+            })
+            .collect()
     }
 
     /// An immutable snapshot of everything recorded so far.
@@ -252,6 +322,7 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
                 .collect(),
+            temperatures: self.temperatures(),
         }
     }
 }
@@ -281,6 +352,9 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, summary)` in name order.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Per-region per-epoch access temperatures in `(region, epoch)`
+    /// order — the telemetry substrate for adaptive tiering.
+    pub temperatures: Vec<RegionTemperature>,
 }
 
 impl MetricsSnapshot {
@@ -301,9 +375,17 @@ impl MetricsSnapshot {
             .map(|(_, h)| h)
     }
 
+    /// A region's temperature windows, in epoch order.
+    pub fn region_temperature(&self, region: u64) -> Vec<&RegionTemperature> {
+        self.temperatures
+            .iter()
+            .filter(|t| t.region == region)
+            .collect()
+    }
+
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.histograms.is_empty() && self.temperatures.is_empty()
     }
 
     /// Renders an aligned human-readable listing.
@@ -324,6 +406,13 @@ impl MetricsSnapshot {
                 out,
                 "{k:<width$}  count={} sum={} min={} p50<={} p99<={} max={}",
                 h.count, h.sum, h.min, h.p50, h.p99, h.max
+            );
+        }
+        for t in &self.temperatures {
+            let _ = writeln!(
+                out,
+                "temp region={} epoch={} accesses={} bytes={} heat={} heat_bytes={}",
+                t.region, t.epoch, t.accesses, t.bytes, t.heat, t.heat_bytes
             );
         }
         out
@@ -359,7 +448,17 @@ impl MetricsSnapshot {
                 buckets.join(", ")
             );
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  },\n  \"temperatures\": [");
+        for (i, t) in self.temperatures.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"region\": {}, \"epoch\": {}, \"accesses\": {}, \"bytes\": {}, \
+                 \"heat\": {}, \"heat_bytes\": {}}}",
+                t.region, t.epoch, t.accesses, t.bytes, t.heat, t.heat_bytes
+            );
+        }
+        out.push_str("\n  ]\n}\n");
         out
     }
 }
@@ -396,6 +495,77 @@ mod tests {
         assert!(h.quantile_bound(0.5) >= 4);
         assert!(h.quantile_bound(0.99) >= 1024);
         assert_eq!(Histogram::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(11), (1024, 2047));
+        assert_eq!(bucket_bounds(64), (1u64 << 63, u64::MAX));
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            assert!(lo <= v && v <= hi, "{v} outside its bucket [{lo}, {hi}]");
+        }
+    }
+
+    /// Pins the quantile fix: the log2-bucket estimate interpolates
+    /// within the bucket instead of returning its upper bound. The
+    /// "was" values are what the pre-fix implementation returned —
+    /// always a power of two minus one.
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 4, 8, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile_bound(0.50), 5); // was 7: bucket [4,7] upper bound
+        assert_eq!(h.quantile_bound(0.99), 1535); // was 2047: bucket [1024,2047]
+
+        // Several values in one bucket spread evenly across it.
+        let mut h = Histogram::default();
+        for _ in 0..3 {
+            h.observe(1000); // bucket 10 covers [512, 1023]
+        }
+        assert_eq!(h.quantile_bound(0.25), 512 + 511 / 4); // was 1023
+        assert_eq!(h.quantile_bound(0.50), 512 + 511 * 2 / 4);
+        assert_eq!(h.quantile_bound(1.0), 512 + 511 * 3 / 4);
+
+        // Degenerate buckets interpolate to their single value.
+        let mut h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        assert_eq!(h.quantile_bound(0.50), 0);
+        assert_eq!(h.quantile_bound(1.0), 1);
+    }
+
+    #[test]
+    fn temperatures_bucket_accesses_per_region_and_epoch() {
+        let mut r = MetricsRegistry::new();
+        let access = |region, at, bytes| TraceEvent::Access {
+            region,
+            dev: MemDeviceId(0),
+            bytes,
+            op: AccessOp::Read,
+            at: SimTime(at),
+            took: SimDuration(10),
+        };
+        r.record(&access(1, 0, 100));
+        r.record(&access(1, 50, 100));
+        r.record(&access(1, TEMP_EPOCH_NS - 1, 56));
+        r.record(&access(1, 2 * TEMP_EPOCH_NS, 4));
+        r.record(&access(2, 10, 1));
+        let snap = r.snapshot();
+        assert_eq!(snap.temperatures.len(), 3, "two windows for region 1, one for region 2");
+        let hot = snap.region_temperature(1);
+        assert_eq!((hot[0].epoch, hot[0].accesses, hot[0].bytes), (0, 3, 256));
+        assert_eq!(hot[0].heat, bucket_of(3) as u8);
+        assert_eq!(hot[0].heat_bytes, bucket_of(256) as u8);
+        assert_eq!((hot[1].epoch, hot[1].accesses), (2, 1));
+        assert_eq!(snap.region_temperature(2)[0].bytes, 1);
+        assert!(snap.to_json().contains("\"temperatures\""));
+        assert!(snap.render().contains("temp region=1 epoch=0"));
     }
 
     #[test]

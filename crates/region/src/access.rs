@@ -253,12 +253,19 @@ impl<'a> Accessor<'a> {
         let decode =
             SimDuration::from_nanos_f64(bytes as f64 * Self::RECONSTRUCT_DECODE_NS_PER_BYTE);
         let took = (finish - self.now) + decode;
+        let (job, task) = match self.who {
+            OwnerId::Task { job, task } => (Some(job), Some(task)),
+            OwnerId::Job(job) => (Some(job), None),
+            OwnerId::App => (None, None),
+        };
         self.trace.push(TraceEvent::Reconstruct {
             region: region.0,
             dev,
             bytes,
             at: self.now,
             took,
+            job,
+            task,
         });
         Ok(took)
     }

@@ -231,6 +231,7 @@ impl ServeLayer {
         let t0 = rt.now();
         let mut admitted_jobs: Vec<JobSpec> = Vec::new();
         let mut admitted_offsets: Vec<SimDuration> = Vec::new();
+        let mut admitted_tags: Vec<(u64, u64)> = Vec::new();
         let mut admitted_of_request: Vec<Option<usize>> = Vec::with_capacity(cfg.requests);
         for req in &requests {
             let template = &self.templates[req.tenant % self.templates.len()].1;
@@ -241,6 +242,7 @@ impl ServeLayer {
                 admitted_of_request.push(Some(admitted_jobs.len()));
                 admitted_jobs.push(job);
                 admitted_offsets.push(req.arrival);
+                admitted_tags.push((req.index as u64, req.tenant as u64));
             } else {
                 admitted_of_request.push(None);
             }
@@ -274,7 +276,11 @@ impl ServeLayer {
         let run: RunReport = if admitted_jobs.is_empty() {
             RunReport::default()
         } else {
-            rt.execute(Submission::batch(admitted_jobs).arrivals(admitted_offsets))?
+            rt.execute(
+                Submission::batch(admitted_jobs)
+                    .arrivals(admitted_offsets)
+                    .requests(admitted_tags),
+            )?
         };
 
         // Map admitted requests back to their jobs: the executor hands
@@ -347,6 +353,21 @@ impl ServeLayer {
         let (util_curve, peak_util) =
             util_curve(rt, t0, run.makespan, pool_at_start, pool_capacity);
 
+        // Request-centric observability, when the runtime traces: one
+        // causal span per admitted request (assembled from the
+        // `RequestTag`-stamped event stream), per-tenant tail
+        // attribution, and SLO burn curves against each tenant's p99.
+        let mut spans = disagg_obs::assemble_request_spans(rt.trace().events());
+        spans.retain(|s| s.arrival >= t0); // this run only
+        let tail = disagg_obs::tail_attribution(&spans);
+        let slo_of = |tenant: u64| {
+            tenants
+                .get(tenant as usize)
+                .and_then(|ts| ts.slo)
+                .map(|slo| slo.p99)
+        };
+        let burn = disagg_obs::slo_burn_by(&spans, BURN_WINDOWS, slo_of);
+
         Ok(ServeReport {
             offered: cfg.requests,
             admitted: admitted_count,
@@ -357,10 +378,17 @@ impl ServeLayer {
             requests: records,
             util_curve,
             peak_util,
+            spans,
+            tail_attribution: tail,
+            burn,
             run,
         })
     }
 }
+
+/// Windows in a serving run's SLO burn curve — matches the granularity
+/// of the utilization curve's sampling (one window per two samples).
+const BURN_WINDOWS: usize = 16;
 
 /// Samples pooled-memory utilization at 33 evenly spaced instants over
 /// the run, reconstructed from the trace's Alloc/Free events; also
@@ -548,5 +576,59 @@ mod tests {
         assert!(!report.util_curve.is_empty());
         assert!(report.peak_util > 0.0);
         assert!(report.util_curve.iter().all(|s| (0.0..=1.0).contains(&s.frac)));
+    }
+
+    #[test]
+    fn traced_runtime_yields_conservative_request_spans() {
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::traced());
+        let slo = Slo {
+            p50: SimDuration::from_micros(20),
+            p99: SimDuration::from_micros(60),
+        };
+        let cfg = ServeConfig {
+            requests: 24,
+            tenants: 3,
+            slo: Some(slo),
+            ..ServeConfig::default()
+        };
+        let report = layer().run(&mut rt, &cfg).unwrap();
+        assert_eq!(report.spans.len(), report.admitted, "one span per admitted request");
+        for s in &report.spans {
+            // The span agrees exactly with the task-derived record.
+            let rec = &report.requests[s.request as usize];
+            assert_eq!(rec.tenant as u64, s.tenant);
+            assert_eq!(rec.latency, Some(s.latency()), "span vs record for req {}", s.request);
+            // Conservative and complete: the five components sum to the
+            // end-to-end latency with no remainder.
+            assert_eq!(s.attribution.total(), s.latency(), "req {}", s.request);
+        }
+        // Tail attribution covers every tenant that got work through.
+        let served = report.tenants.iter().filter(|t| t.admitted > 0).count();
+        assert_eq!(report.tail_attribution.len(), served);
+        for ta in &report.tail_attribution {
+            assert!(!ta.exemplars.is_empty());
+        }
+        // Burn curves: every admitted request lands in exactly one
+        // window of its tenant's curve.
+        assert_eq!(report.burn.len(), served);
+        let counted: u64 = report
+            .burn
+            .iter()
+            .flat_map(|b| b.windows.iter())
+            .map(|w| w.good + w.bad)
+            .sum();
+        assert_eq!(counted, report.admitted as u64);
+    }
+
+    #[test]
+    fn untraced_runtime_reports_no_spans() {
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        let cfg = ServeConfig { requests: 8, tenants: 2, ..ServeConfig::default() };
+        let report = layer().run(&mut rt, &cfg).unwrap();
+        assert!(report.spans.is_empty());
+        assert!(report.tail_attribution.is_empty());
+        assert!(report.burn.is_empty());
     }
 }

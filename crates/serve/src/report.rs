@@ -7,7 +7,7 @@
 
 use disagg_core::report::RunReport;
 use disagg_hwsim::time::SimDuration;
-use disagg_obs::Histogram;
+use disagg_obs::{Histogram, RequestSpan, TenantAttribution, TenantBurn};
 
 /// A per-tenant latency SLO in virtual time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +92,19 @@ pub struct ServeReport {
     /// Alloc/Free event walk, so it catches allocations too short-lived
     /// for the sampled curve. `0.0` without a trace.
     pub peak_util: f64,
+    /// One causal span per admitted request (arrival → last task
+    /// finish, tiled into admission / queue / compute / transfer /
+    /// recovery segments whose durations sum exactly to the sojourn).
+    /// Empty when the runtime was built without tracing.
+    pub spans: Vec<RequestSpan>,
+    /// Per-tenant tail-latency attribution: exact p99, the exemplar
+    /// requests behind it, and the dominant latency component. Empty
+    /// without a trace.
+    pub tail_attribution: Vec<TenantAttribution>,
+    /// Per-tenant SLO burn curves (rolling virtual-time windows of
+    /// good/bad counts against each tenant's p99 SLO). Empty without a
+    /// trace or when no tenant carries an SLO.
+    pub burn: Vec<TenantBurn>,
     /// The underlying executor report for the admitted batch.
     pub run: RunReport,
 }

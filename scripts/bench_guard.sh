@@ -7,11 +7,17 @@
 # record carries one, the serving-mix measurement (the open-loop
 # multi-tenant stream from crates/serve driven at saturation).
 #
+# Also gates observer overhead: the trace_overhead microbenchmark
+# measures the same stress batch with no observer and with a streaming
+# FullObserver attached, and the guard fails if having observability
+# *on* costs more than OBS_OVERHEAD_MAX percent of events/sec.
+#
 # Usage:
 #   scripts/bench_guard.sh                 # guard j16_l24_w24 (+ serving_mix)
 #   scripts/bench_guard.sh j8_l16_w16      # guard another config
 #   TOLERANCE=0.80 scripts/bench_guard.sh  # loosen the floor
 #   RUNS=5 scripts/bench_guard.sh          # more samples (best-of)
+#   OBS_OVERHEAD_MAX=15 scripts/bench_guard.sh  # loosen the observer gate
 #
 # Wall-clock numbers only compare within one host class: run this on the
 # same machine class that produced the committed record (the record is
@@ -72,7 +78,54 @@ for run in $(seq "$RUNS"); do
   done
 done
 
+# Observer-overhead gate: re-run only the trace_overhead group of the
+# micro suite (the bench binary accepts substring filters) and parse the
+# summary line
+#   trace_overhead/events_per_sec  null N | full observer M (X% slower) | ...
+# Two thresholds:
+#   - the streaming FullObserver legitimately costs events/sec
+#     (OBS_BASELINE is the committed overhead); the gate fails if it
+#     regresses more than OBS_OVERHEAD_MAX percentage points past that.
+#   - buffered tracing (RuntimeConfig::traced) must stay within
+#     OBS_OVERHEAD_MAX points of the null-observer run outright — the
+#     design claims having observability *available* is near-free.
+# The ratio is noisy on shared hosts, so keep the best (lowest
+# overhead) of $RUNS samples: a real regression slows every sample.
+OBS_BASELINE=${OBS_BASELINE:-40}
+OBS_OVERHEAD_MAX=${OBS_OVERHEAD_MAX:-10}
+obs_cmd=(cargo bench --offline -p disagg-bench --bench micro -- trace_overhead)
+echo "==> ${obs_cmd[*]} (x${RUNS})" >&2
+full_best=""
+traced_best=""
+for run in $(seq "$RUNS"); do
+  obs_line=$("${obs_cmd[@]}" 2>/dev/null | grep '^trace_overhead/events_per_sec' || true)
+  full=$(printf '%s\n' "$obs_line" \
+    | sed -n 's/.*full observer [0-9]* (\(-\{0,1\}[0-9.]*\)% slower).*/\1/p')
+  traced=$(printf '%s\n' "$obs_line" \
+    | sed -n 's/.*buffered trace [0-9]* (\(-\{0,1\}[0-9.]*\)% slower).*/\1/p')
+  if [ -z "$full" ] || [ -z "$traced" ]; then
+    echo "bench_guard: could not parse observer overheads from micro output" >&2
+    exit 1
+  fi
+  echo "bench_guard: observer sample ${run}/${RUNS}: full ${full}% traced ${traced}%" >&2
+  full_best=$(awk -v a="${full_best:-$full}" -v b="$full" 'BEGIN { print (a < b) ? a : b }')
+  traced_best=$(awk -v a="${traced_best:-$traced}" -v b="$traced" 'BEGIN { print (a < b) ? a : b }')
+done
+
 status=0
+obs_ok=$(awk -v f="$full_best" -v base="$OBS_BASELINE" -v m="$OBS_OVERHEAD_MAX" \
+  -v t="$traced_best" 'BEGIN { print (f <= base + m && t <= m) ? 1 : 0 }')
+if [ "$obs_ok" != "1" ]; then
+  echo "bench_guard: observer overhead REGRESSED: full observer ${full_best}%" \
+       "(committed ${OBS_BASELINE}% + ${OBS_OVERHEAD_MAX} margin)," \
+       "buffered trace ${traced_best}% (max ${OBS_OVERHEAD_MAX}%)" >&2
+  status=1
+else
+  echo "bench_guard: observer overhead OK: full observer ${full_best}%" \
+       "(committed ${OBS_BASELINE}% + ${OBS_OVERHEAD_MAX} margin)," \
+       "buffered trace ${traced_best}% (max ${OBS_OVERHEAD_MAX}%)"
+fi
+
 for cfg in $CONFIGS; do
   committed=$(committed_of "$cfg")
   ok=$(awk -v f="${fresh[$cfg]}" -v c="$committed" -v t="$TOLERANCE" \

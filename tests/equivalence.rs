@@ -333,6 +333,45 @@ fn streaming_observer_matches_buffered_trace() {
     );
 }
 
+/// Observation is free of semantic weight at both extremes: the default
+/// [`NullObserver`] run (what every golden above uses) and a run with
+/// the everything-sink [`FullObserver`] attached — metrics registry,
+/// timelines, buffered events — produce the *same pinned golden
+/// digests*. Attaching full observability never moves a byte of the
+/// schedule or the trace.
+#[test]
+fn null_and_full_observers_agree_on_the_golden_digest() {
+    use std::sync::{Arc, Mutex};
+
+    // NullObserver (the default slot) — re-derive the pinned digests.
+    let (mut rt, jobs) = rack_batch(1);
+    let report = rt.run(jobs).unwrap();
+    let null_digests = report_digest(&report, rt.trace());
+
+    // FullObserver riding the same run.
+    let (topo, _rack) = disagg::presets::disaggregated_rack(3, 16, 3, 128);
+    let sink = Arc::new(Mutex::new(FullObserver::new()));
+    let mut rt = Runtime::new(
+        topo,
+        RuntimeConfig::traced()
+            .with_admission(0.8)
+            .with_observer(ObserverSlot::shared(sink.clone())),
+    );
+    let (_, jobs) = rack_batch(1);
+    let report = rt.run(jobs).unwrap();
+    let full_digests = report_digest(&report, rt.trace());
+
+    let golden = rack_golden();
+    assert_eq!(null_digests, (golden.task_hash, golden.trace_hash));
+    assert_eq!(full_digests, null_digests, "observer choice perturbed the run");
+
+    // The full observer genuinely observed: same event count as the
+    // buffered trace, and a non-empty metrics snapshot.
+    let full = sink.lock().unwrap();
+    assert_eq!(full.events.len(), rt.trace().events().len());
+    assert!(full.metrics().is_some_and(|m| !m.is_empty()));
+}
+
 #[test]
 fn repeated_runs_are_bit_for_bit_identical() {
     let digest = || {

@@ -139,6 +139,116 @@ fn tenant_quota_rejects_without_collateral_damage() {
     assert_eq!(report.admitted + report.rejected, report.offered);
 }
 
+/// Per-request attribution over a faulty serving mix: every admitted
+/// request's five components (admission + queue + compute + transfer +
+/// recovery) sum *exactly* to its end-to-end latency — conservative and
+/// complete, even with crashes, corruption, retries, and online
+/// reconstruction in the run — and the spans, tail attribution, and
+/// burn curves are bit-for-bit identical at 1 and 4 shards.
+#[test]
+fn request_attribution_is_conservative_and_shard_invariant_under_faults() {
+    use disagg::hwsim::fault::{FaultInjector, FaultKind};
+    use disagg::hwsim::trace::TraceEvent;
+
+    // A denser stream than `cfg()` so tasks are in flight when the
+    // chaos plan strikes.
+    let dense = || ServeConfig {
+        arrivals: ArrivalProcess::Poisson { mean_gap: SimDuration::from_micros(15) },
+        requests: 48,
+        ..cfg()
+    };
+
+    // Probe the healthy horizon so the chaos schedule lands mid-run.
+    let horizon = {
+        let (topo, _rack) = disaggregated_rack(2, 4, 1, 8);
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        mix().run(&mut rt, &dense()).expect("probe run").makespan
+    };
+
+    let serve_faulty = |shards: usize| {
+        let (topo, rack) = disaggregated_rack(2, 4, 1, 8);
+        let mut faults = FaultInjector::none();
+        // Rotating crash/recover pairs across the whole horizon, each
+        // node repaired after an eighth of the run.
+        let mttf = horizon.0 / 4;
+        for k in 1..=4u64 {
+            let node = rack.nodes[(k as usize - 1) % rack.nodes.len()];
+            faults.schedule(SimTime(k * mttf), FaultKind::NodeCrash(node));
+            faults.schedule(SimTime(k * mttf + mttf / 2), FaultKind::NodeRecover(node));
+        }
+        // Corruption bursts on local DRAM and the pool blade, early
+        // enough that later requests read through them.
+        for dev in [rack.drams[0], rack.pool[0]] {
+            faults.schedule(
+                SimTime(horizon.0 / 8),
+                FaultKind::Corrupt { dev, offset: 0, len: 4 << 20 },
+            );
+        }
+        let config = RuntimeConfig::traced()
+            .with_shards(shards)
+            .with_faults(faults)
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_detection_delay(SimDuration(2_000))
+                    .with_backoff(SimDuration(1_000)),
+            );
+        let mut rt = Runtime::new(topo, config);
+        let report = mix().run(&mut rt, &dense()).expect("faulty serving run");
+        let fault_activity = rt.trace().events().iter().any(|e| {
+            matches!(
+                e,
+                TraceEvent::TaskRetry { .. }
+                    | TraceEvent::Reconstruct { .. }
+                    | TraceEvent::FaultDetected { .. }
+            )
+        });
+        (report, fault_activity)
+    };
+
+    let (base, faults_hit) = serve_faulty(1);
+    assert!(base.admitted > 0, "stream must admit work");
+    assert!(faults_hit, "the chaos schedule must actually disturb the run");
+    assert_eq!(base.spans.len(), base.admitted, "one span per admitted request");
+    for s in &base.spans {
+        let rec = &base.requests[s.request as usize];
+        assert_eq!(
+            rec.latency,
+            Some(s.latency()),
+            "span sojourn must match the record for request {}",
+            s.request
+        );
+        assert_eq!(
+            s.attribution.total(),
+            s.latency(),
+            "attribution must be conservative and complete for request {}",
+            s.request
+        );
+        // Segments tile the sojourn with no gaps or overlaps.
+        assert_eq!(s.segments.first().expect("non-empty span").start, s.arrival);
+        assert_eq!(s.segments.last().expect("non-empty span").end, s.end);
+        for w in s.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must tile request {}", s.request);
+        }
+    }
+
+    let (other, _) = serve_faulty(4);
+    assert_eq!(
+        format!("{:?}", other.spans),
+        format!("{:?}", base.spans),
+        "request spans diverged at 4 shards"
+    );
+    assert_eq!(
+        format!("{:?}", other.tail_attribution),
+        format!("{:?}", base.tail_attribution),
+        "tail attribution diverged at 4 shards"
+    );
+    assert_eq!(
+        format!("{:?}", other.burn),
+        format!("{:?}", base.burn),
+        "burn curves diverged at 4 shards"
+    );
+}
+
 /// The per-tenant SLO histograms must agree with latencies derived
 /// directly from the executor's task spans: rebuilding each tenant's
 /// sojourn histogram from the run report reproduces the published
