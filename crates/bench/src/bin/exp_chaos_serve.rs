@@ -1,0 +1,6 @@
+//! Standalone runner for the chaos-under-load serving sweep (E18).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", disagg_bench::exp::chaos_serve::run(quick).render());
+}

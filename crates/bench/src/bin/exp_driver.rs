@@ -264,12 +264,22 @@ fn main() {
         } else {
             None
         };
+        // The chaos-under-load sweep nests under `serving.chaos`; like
+        // the sections above it is virtual-time-only and byte-identical
+        // between runs.
+        let chaos_serve =
+            if !thru_only && (only.is_empty() || only.iter().any(|o| o == "chaos_serve")) {
+                Some(driver::chaos_serve_record(quick))
+            } else {
+                None
+            };
         let json = driver::bench_json(
             &results,
             &throughputs,
             &scaling,
             &chaos,
             serving.as_ref(),
+            chaos_serve.as_ref(),
             quick,
             threads,
         );

@@ -41,6 +41,7 @@ use disagg_workloads::streaming::{windowed_job, StreamConfig};
 
 use crate::exp;
 use crate::exp::chaos::ChaosRow;
+use crate::exp::chaos_serve::ChaosServeRecord;
 use crate::exp::serving::ServingRecord;
 
 /// Order-preserving parallel map: runs `f` over `items` on up to
@@ -409,6 +410,13 @@ pub fn serving_record(quick: bool) -> ServingRecord {
     exp::serving::measure(quick)
 }
 
+/// Re-measures the chaos-under-load sweep (fault-aware controls vs the
+/// uncontrolled baseline) for the `serving.chaos` section. Virtual-time
+/// only, byte-identical across runs and shard counts.
+pub fn chaos_serve_record(quick: bool) -> ChaosServeRecord {
+    exp::chaos_serve::measure(quick)
+}
+
 /// Best-of-`reps` wall-clock throughput of one saturation-load serving
 /// pass (the `serving_mix` record `scripts/bench_guard.sh` watches).
 /// The virtual outputs are deterministic; only the wall-clock moves.
@@ -466,12 +474,14 @@ pub fn serving_trace_artifacts(quick: bool) -> Result<(String, String), String> 
 
 /// Renders the machine-readable benchmark record (`BENCH_disagg.json`).
 /// Hand-rolled JSON keeps the workspace dependency-free.
+#[allow(clippy::too_many_arguments)]
 pub fn bench_json(
     experiments: &[ExpResult],
     throughputs: &[Throughput],
     shard_scaling: &[ShardScalingRow],
     chaos: &[ChaosRow],
     serving: Option<&ServingRecord>,
+    chaos_serve: Option<&ChaosServeRecord>,
     quick: bool,
     threads: usize,
 ) -> String {
@@ -554,10 +564,17 @@ pub fn bench_json(
     }
     out.push_str("  ],\n");
     // Virtual-time only, like the chaos section — CI diffs two runs of
-    // this section to police serving determinism.
-    match serving {
-        None => out.push_str("  \"serving\": null\n"),
-        Some(rec) => {
+    // this section to police serving determinism. The chaos-under-load
+    // record nests inside it as `serving.chaos` (emitted alone when
+    // only the chaos-serve sweep ran).
+    match (serving, chaos_serve) {
+        (None, None) => out.push_str("  \"serving\": null\n"),
+        (None, Some(cs)) => {
+            out.push_str("  \"serving\": {\n");
+            push_serving_chaos(&mut out, cs);
+            out.push_str("  }\n");
+        }
+        (Some(rec), cs) => {
             out.push_str("  \"serving\": {\n");
             out.push_str(&format!(
                 "    \"tenants\": {}, \"requests\": {}, \"seed\": {},\n",
@@ -663,11 +680,60 @@ pub fn bench_json(
                     if i + 1 < rec.tail_attribution.len() { "," } else { "" },
                 ));
             }
-            out.push_str("    ]\n  }\n");
+            out.push_str("    ],\n");
+            match cs {
+                None => out.push_str("    \"chaos\": null\n"),
+                Some(cs) => push_serving_chaos(&mut out, cs),
+            }
+            out.push_str("  }\n");
         }
     }
     out.push_str("}\n");
     out
+}
+
+/// Emits the `serving.chaos` object body (the chaos-under-load sweep):
+/// per (load, variant) row, admission/shed/degrade/fast-fail counts,
+/// SLO goodput, breaker trips, the fault window, and burn
+/// during/after with the measured recovery. All fields virtual-time.
+fn push_serving_chaos(out: &mut String, rec: &ChaosServeRecord) {
+    out.push_str("    \"chaos\": {\n");
+    out.push_str(&format!(
+        "      \"tenants\": {}, \"requests\": {}, \"seed\": {}, \"slo_p99_ns\": {},\n",
+        rec.tenants, rec.requests, rec.seed, rec.slo_p99.0
+    ));
+    out.push_str("      \"rows\": [\n");
+    for (i, r) in rec.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"load\": \"{}\", \"controls\": {}, \"mean_gap_ns\": {}, \
+             \"offered\": {}, \"admitted\": {}, \"rejected\": {}, \"shed\": {}, \
+             \"degraded\": {}, \"fast_failed\": {}, \"goodput\": {}, \"p99_ns\": {}, \
+             \"makespan_ns\": {}, \"breaker_trips\": {}, \"fault_start_ns\": {}, \
+             \"fault_end_ns\": {}, \"burn_during\": {:.4}, \"burn_after\": {:.4}, \
+             \"recovered\": {}, \"recovery_ns\": {}}}{}\n",
+            json_escape(r.load),
+            r.controls,
+            r.mean_gap.0,
+            r.offered,
+            r.admitted,
+            r.rejected,
+            r.shed,
+            r.degraded,
+            r.fast_failed,
+            r.goodput,
+            r.p99.0,
+            r.makespan.0,
+            r.breaker_trips,
+            r.fault_start.0,
+            r.fault_end.0,
+            r.burn_during,
+            r.burn_after,
+            r.recovered,
+            r.recovery.0,
+            if i + 1 < rec.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("      ]\n    }\n");
 }
 
 #[cfg(test)]
@@ -801,7 +867,43 @@ mod tests {
                 }],
             }],
         };
-        let s = bench_json(&exps, &thru, &scaling, &chaos, Some(&serving), true, 4);
+        let chaos_serve = crate::exp::chaos_serve::ChaosServeRecord {
+            tenants: 2,
+            requests: 8,
+            seed: 7,
+            slo_p99: SimDuration(16_000),
+            rows: vec![crate::exp::chaos_serve::ChaosServeRow {
+                load: "1.00x",
+                mean_gap: SimDuration(1_000),
+                controls: true,
+                offered: 8,
+                admitted: 6,
+                rejected: 1,
+                shed: 1,
+                degraded: 2,
+                fast_failed: 1,
+                goodput: 5,
+                p99: SimDuration(5_000),
+                makespan: SimDuration(9_000),
+                breaker_trips: 3,
+                fault_start: disagg_hwsim::time::SimTime(2_000),
+                fault_end: disagg_hwsim::time::SimTime(4_000),
+                burn_during: 7.5,
+                burn_after: 0.25,
+                recovered: true,
+                recovery: SimDuration(1_500),
+            }],
+        };
+        let s = bench_json(
+            &exps,
+            &thru,
+            &scaling,
+            &chaos,
+            Some(&serving),
+            Some(&chaos_serve),
+            true,
+            4,
+        );
         assert!(s.contains("\"schema\": \"disagg-bench-v1\""));
         assert!(s.contains("\"serving\": {"));
         assert!(s.contains("\"knee\": {\"load\": \"1.00x\""));
@@ -811,9 +913,26 @@ mod tests {
         assert!(s.contains("\"rate\": 14.2857"), "1 bad of 7 burns ~14x the 1% budget");
         assert!(s.contains("\"peak_util\": 0.125000"));
         assert!(s.contains("\"slo_met\": true"));
-        let without = bench_json(&exps, &thru, &scaling, &chaos, None, true, 4);
+        assert!(s.contains("\"chaos\": {"));
+        assert!(s.contains("\"breaker_trips\": 3"));
+        assert!(s.contains("\"burn_during\": 7.5000"));
+        assert!(s.contains("\"recovered\": true"));
+        assert!(s.contains("\"recovery_ns\": 1500"));
+        let without = bench_json(&exps, &thru, &scaling, &chaos, None, None, true, 4);
         assert!(without.contains("\"serving\": null"));
         assert_eq!(without.matches('{').count(), without.matches('}').count());
+        let chaos_only = bench_json(
+            &exps,
+            &thru,
+            &scaling,
+            &chaos,
+            Some(&serving),
+            None,
+            true,
+            4,
+        );
+        assert!(chaos_only.contains("\"chaos\": null"));
+        assert_eq!(chaos_only.matches('{').count(), chaos_only.matches('}').count());
         assert!(s.contains("\"name\": \"j4_l8_w8\""));
         assert!(s.contains("\"speedup_vs_seed\""));
         assert!(s.contains("\"shard_scaling\""));

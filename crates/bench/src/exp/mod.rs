@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod asynk;
 pub mod chaos;
+pub mod chaos_serve;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -44,6 +45,7 @@ pub fn all() -> Vec<Experiment> {
         ("ablation", ablation::run),
         ("chaos", chaos::run),
         ("serving", serving::run),
+        ("chaos_serve", chaos_serve::run),
     ]
 }
 
@@ -55,6 +57,7 @@ mod tests {
         for id in [
             "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "numa", "naive",
             "async", "ftol", "tiering", "stream", "online", "ablation", "chaos", "serving",
+            "chaos_serve",
         ] {
             assert!(ids.contains(&id), "missing experiment {id}");
         }

@@ -70,10 +70,159 @@ impl RecoveryPolicy {
     }
 
     /// The relaunch delay after the fault is detected, for 1-based
-    /// attempt `n`: `backoff * 2^(n-1)` (saturating).
+    /// attempt `n`: `backoff * 2^(n-1)`.
+    ///
+    /// # Contract: saturation vs. exhaustion
+    ///
+    /// This is *pure arithmetic* — it does not know or enforce
+    /// [`max_retries`](Self::max_retries). Two distinct behaviors meet
+    /// here and must not be confused:
+    ///
+    /// - **Saturation** (this function): once `backoff * 2^(n-1)`
+    ///   overflows, the result pins at `u64::MAX` nanoseconds; and a
+    ///   zero base backoff stays zero at
+    ///   *every* attempt — doubling zero is still zero, not an error.
+    ///   Callers asking for attempt 7 of a policy whose cap is 3 get a
+    ///   well-defined delay, not a panic.
+    /// - **Exhaustion** is the *caller's* check, made *before* asking
+    ///   for a delay: the executor compares the attempt count against
+    ///   `max_retries` and surfaces
+    ///   [`crate::DisaggError::RetriesExhausted`] (or, past a tenant's
+    ///   retry budget, [`crate::DisaggError::RetryBudgetExhausted`])
+    ///   instead of scheduling another relaunch.
+    ///
+    /// Use [`exhausted`](Self::exhausted) to ask the policy directly.
     pub fn backoff_for(&self, attempt: u32) -> SimDuration {
         let factor = 1u64.checked_shl(attempt.saturating_sub(1)).unwrap_or(u64::MAX);
         SimDuration(self.backoff.0.saturating_mul(factor))
+    }
+
+    /// True when 1-based attempt `n` exceeds the retry cap — the
+    /// explicit exhaustion check `backoff_for` deliberately does not
+    /// perform (see its contract note).
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt > self.max_retries
+    }
+}
+
+/// Per-tenant retry budget: a virtual-time token bucket charged once per
+/// executor `TaskRetry`. When a tenant's bucket is empty, its requests
+/// fail fast with [`crate::DisaggError::RetryBudgetExhausted`] instead
+/// of grinding through the full [`RecoveryPolicy`] — a fault storm
+/// cannot metastasize into a retry storm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetPolicy {
+    /// Bucket capacity (tokens): the burst of retries one tenant may
+    /// spend before refills gate further attempts.
+    pub capacity: u32,
+    /// Virtual time per token refilled (buckets refill continuously and
+    /// cap at `capacity`).
+    pub refill_interval: SimDuration,
+}
+
+impl Default for RetryBudgetPolicy {
+    fn default() -> Self {
+        RetryBudgetPolicy {
+            capacity: 8,
+            refill_interval: SimDuration::from_micros(100),
+        }
+    }
+}
+
+impl RetryBudgetPolicy {
+    /// Sets the bucket capacity.
+    pub fn with_capacity(mut self, n: u32) -> Self {
+        self.capacity = n;
+        self
+    }
+
+    /// Sets the per-token refill interval.
+    pub fn with_refill_interval(mut self, d: SimDuration) -> Self {
+        self.refill_interval = d;
+        self
+    }
+}
+
+/// Per-node circuit breaker: consecutive `FaultDetected` strikes trip
+/// the breaker, the scheduler's candidate ranking then excludes the
+/// node, and after a virtual-time cool-down a *single* probe task is
+/// admitted (half-open). A clean probe closes the breaker; a probe-time
+/// fault re-opens it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive detected faults on one node that open its breaker.
+    pub trip_after: u32,
+    /// Virtual time an open breaker waits before admitting a probe.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            trip_after: 2,
+            cooldown: SimDuration::from_micros(200),
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// Sets the trip threshold.
+    pub fn with_trip_after(mut self, n: u32) -> Self {
+        self.trip_after = n.max(1);
+        self
+    }
+
+    /// Sets the cool-down before a probe.
+    pub fn with_cooldown(mut self, d: SimDuration) -> Self {
+        self.cooldown = d;
+        self
+    }
+}
+
+/// Fault-aware control-plane knobs layered over [`RecoveryPolicy`]. All
+/// default **off** (`FaultControlPolicy::default()` is inert), so plain
+/// runs — and every existing equivalence golden — execute byte-for-byte
+/// the same code path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultControlPolicy {
+    /// Per-tenant retry budgets (`None` = unbounded, the legacy
+    /// behavior). Budgets only bind request-tagged jobs: untagged batch
+    /// jobs have no tenant to charge.
+    pub retry_budget: Option<RetryBudgetPolicy>,
+    /// Per-node circuit breakers (`None` = placement never excludes a
+    /// faulty-but-up node).
+    pub breakers: Option<BreakerPolicy>,
+    /// When true, a request-tagged job whose task exhausts its retries
+    /// or budget fails *alone*: the job is marked failed in the report
+    /// (`RunReport::failed_jobs`) and the wave continues, instead of the
+    /// whole submission erroring out.
+    pub isolate_failures: bool,
+}
+
+impl FaultControlPolicy {
+    /// True when every mechanism is off — the executor takes the legacy
+    /// path with zero extra state.
+    pub fn is_inert(&self) -> bool {
+        self.retry_budget.is_none() && self.breakers.is_none() && !self.isolate_failures
+    }
+
+    /// Enables per-tenant retry budgets.
+    pub fn with_retry_budget(mut self, p: RetryBudgetPolicy) -> Self {
+        self.retry_budget = Some(p);
+        self
+    }
+
+    /// Enables per-node circuit breakers.
+    pub fn with_breakers(mut self, p: BreakerPolicy) -> Self {
+        self.breakers = Some(p);
+        self
+    }
+
+    /// Lets request-tagged jobs fail individually instead of failing
+    /// the whole submission.
+    pub fn with_isolation(mut self) -> Self {
+        self.isolate_failures = true;
+        self
     }
 }
 
@@ -106,6 +255,9 @@ pub struct RuntimeConfig {
     pub faults: FaultInjector,
     /// How mid-task faults are detected and retried.
     pub recovery: RecoveryPolicy,
+    /// Overload/fault control plane on top of `recovery`: retry
+    /// budgets, circuit breakers, failure isolation. Inert by default.
+    pub fault_control: FaultControlPolicy,
     /// Memory-aware admission control: when set, a submitted batch is
     /// split into waves so that each wave's *predicted* memory footprint
     /// stays below this fraction of the pool's free capacity. `None`
@@ -137,6 +289,7 @@ impl Default for RuntimeConfig {
             observer: ObserverSlot::default(),
             faults: FaultInjector::default(),
             recovery: RecoveryPolicy::default(),
+            fault_control: FaultControlPolicy::default(),
             admission_watermark: None,
             persistent_replicas: 1,
             shards: 1,
@@ -205,6 +358,13 @@ impl RuntimeConfig {
     /// Sets the failure-recovery policy.
     pub fn with_recovery(mut self, r: RecoveryPolicy) -> Self {
         self.recovery = r;
+        self
+    }
+
+    /// Sets the overload/fault control plane (retry budgets, breakers,
+    /// failure isolation).
+    pub fn with_fault_control(mut self, fc: FaultControlPolicy) -> Self {
+        self.fault_control = fc;
         self
     }
 
@@ -278,9 +438,45 @@ mod tests {
         assert_eq!(p.backoff_for(1), SimDuration(1_000));
         assert_eq!(p.backoff_for(2), SimDuration(2_000));
         assert_eq!(p.backoff_for(4), SimDuration(8_000));
-        // Zero backoff stays zero at any attempt.
+        // Zero backoff stays zero at any attempt: saturation, not an
+        // exhaustion signal (backoff_for's documented contract).
         assert_eq!(RecoveryPolicy::default().backoff_for(7), SimDuration::ZERO);
         let c = RuntimeConfig::traced().with_recovery(p);
         assert_eq!(c.recovery.max_retries, 5);
+    }
+
+    #[test]
+    fn backoff_saturates_and_exhaustion_is_a_separate_check() {
+        let p = RecoveryPolicy::default()
+            .with_max_retries(3)
+            .with_backoff(SimDuration(1_000));
+        // Saturation: a nonzero base pins at u64::MAX past the shift
+        // width instead of wrapping — still a valid delay, not an error.
+        assert_eq!(p.backoff_for(100), SimDuration(u64::MAX));
+        // ... and the shift itself saturates before the multiply does.
+        assert_eq!(p.backoff_for(64), SimDuration(u64::MAX));
+        // Exhaustion is asked explicitly, independent of the delay math.
+        assert!(!p.exhausted(3));
+        assert!(p.exhausted(4));
+        assert!(p.exhausted(100));
+    }
+
+    #[test]
+    fn fault_control_defaults_inert() {
+        let fc = FaultControlPolicy::default();
+        assert!(fc.is_inert());
+        assert!(fc.retry_budget.is_none());
+        assert!(fc.breakers.is_none());
+        assert!(!fc.isolate_failures);
+        let armed = FaultControlPolicy::default()
+            .with_retry_budget(RetryBudgetPolicy::default().with_capacity(4))
+            .with_breakers(BreakerPolicy::default().with_trip_after(2))
+            .with_isolation();
+        assert!(!armed.is_inert());
+        assert_eq!(armed.retry_budget.unwrap().capacity, 4);
+        assert_eq!(armed.breakers.unwrap().trip_after, 2);
+        assert!(armed.isolate_failures);
+        let c = RuntimeConfig::default().with_fault_control(armed);
+        assert!(c.fault_control.isolate_failures);
     }
 }

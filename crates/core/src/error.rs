@@ -58,6 +58,20 @@ pub enum DisaggError {
         /// Attempts made (initial execution + retries).
         attempts: u32,
     },
+    /// A task was interrupted by a fault but its tenant's retry budget
+    /// (token bucket, [`crate::RetryBudgetPolicy`]) was empty: the
+    /// request fails fast instead of spending more of the
+    /// [`crate::RecoveryPolicy`] cap during a fault storm.
+    RetryBudgetExhausted {
+        /// The job.
+        job: JobId,
+        /// The task.
+        task: TaskId,
+        /// The tenant whose bucket ran dry.
+        tenant: u64,
+        /// Attempts made before the budget gated further retries.
+        attempts: u32,
+    },
     /// A [`Submission`](crate::Submission) was malformed: the arrival
     /// offsets do not line up one-per-job.
     Submission {
@@ -131,6 +145,12 @@ impl std::fmt::Display for DisaggError {
                 write!(
                     f,
                     "{job}/{task} kept failing: retry budget exhausted after {attempts} attempts"
+                )
+            }
+            DisaggError::RetryBudgetExhausted { job, task, tenant, attempts } => {
+                write!(
+                    f,
+                    "{job}/{task} failed fast: tenant {tenant}'s retry budget empty after {attempts} attempts"
                 )
             }
             DisaggError::Submission { jobs, offsets } => {

@@ -146,6 +146,18 @@ pub(crate) struct Wave {
     /// Job-scoped published-region maps (user-facing string keys).
     pub published: Vec<FxHashMap<String, RegionId>>,
     pub global_state: Vec<Option<RegionId>>,
+    /// Per-job tenant identity from the submission's request tags —
+    /// what the retry-budget buckets are keyed on.
+    pub tenants: Vec<Option<u64>>,
+    /// Jobs declared failed under fail-fast isolation: their remaining
+    /// events are committed as no-ops instead of erroring the wave.
+    pub failed: Vec<bool>,
+    /// Per-task completion flags (global task numbering), so a fail-fast
+    /// knows which of the job's tasks it is cancelling.
+    pub ran: Vec<bool>,
+    /// Tasks cancelled by fail-fast isolation, for the end-of-wave
+    /// drain accounting.
+    pub failed_tasks: usize,
     /// Events committed (the loop's unit of work); identical at every
     /// shard count.
     pub events: u64,
@@ -240,8 +252,18 @@ fn commit(
 ) -> Result<(), DisaggError> {
     w.events += 1;
     match kind {
-        EventKind::Ready { ji, task } => enqueue(rt, w, jobs, ji, task, at),
+        // Events addressed to a fail-fast-isolated job are spent as
+        // no-ops: the wave keeps draining, the job stays cancelled.
+        EventKind::Ready { ji, task } => {
+            if w.failed[ji] {
+                return Ok(());
+            }
+            enqueue(rt, w, jobs, ji, task, at)
+        }
         EventKind::EdgeDone { ji, task } => {
+            if w.failed[ji] {
+                return Ok(());
+            }
             let g = w.gx(ji, task);
             w.deps_left[g] -= 1;
             if w.deps_left[g] == 0 {
@@ -388,6 +410,10 @@ pub(crate) fn run_wave(
         finish_at: vec![SimTime::ZERO; total_tasks],
         published: jobs.iter().map(|_| FxHashMap::default()).collect(),
         global_state,
+        tenants: tags.iter().map(|t| t.map(|(_, tenant)| tenant)).collect(),
+        failed: vec![false; jobs.len()],
+        ran: vec![false; total_tasks],
+        failed_tasks: 0,
         events: 0,
         report: RunReport::default(),
     };
@@ -476,7 +502,7 @@ pub(crate) fn run_wave(
         }
     }
     assert_eq!(
-        w.report.tasks.len(),
+        w.report.tasks.len() + w.failed_tasks,
         total_tasks,
         "event heap drained with tasks unrun; DAG validation should prevent this"
     );

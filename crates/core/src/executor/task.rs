@@ -16,7 +16,7 @@ use disagg_hwsim::compute::WorkClass;
 use disagg_hwsim::device::{AccessOp, AccessPattern};
 use disagg_hwsim::fault::FaultKind;
 use disagg_hwsim::fx::FxHashMap;
-use disagg_hwsim::ids::{ComputeId, LinkId, MemDeviceId};
+use disagg_hwsim::ids::{ComputeId, LinkId, MemDeviceId, NodeId};
 use disagg_hwsim::time::{SimDuration, SimTime};
 use disagg_hwsim::topology::Topology;
 use disagg_hwsim::trace::TraceEvent;
@@ -29,8 +29,9 @@ use disagg_sched::enforce::needs_encryption;
 use disagg_sched::placement::PlacementEngine;
 use disagg_sched::schedule::{QueuePolicy, Scheduler};
 
+use crate::breaker::BreakerState;
 use crate::error::DisaggError;
-use crate::report::TaskReport;
+use crate::report::{FailReason, FailedJob, TaskReport};
 use crate::runtime::Runtime;
 
 use super::shard::flush_exits;
@@ -183,6 +184,92 @@ fn first_interrupt(
     None
 }
 
+/// The cheapest live candidate for (re)placing `task` at `at`,
+/// consulting the circuit-breaker bank when one is configured: nodes
+/// with open breakers are excluded from the ranking, a cooled-down
+/// breaker grants `key` its half-open probe slot (traced), and when
+/// *every* live candidate is breaker-blocked the pick falls back to
+/// plain liveness — breakers degrade placement quality, never
+/// availability. With breakers off this is exactly the legacy
+/// "cheapest candidate whose node is up" walk.
+fn pick_candidate(
+    rt: &mut Runtime,
+    spec: &JobSpec,
+    task: TaskId,
+    at: SimTime,
+    key: (u64, u64),
+) -> Option<ComputeId> {
+    let live: Vec<(ComputeId, NodeId)> =
+        Scheduler::ranked_candidates_where(&rt.topo, spec, task, |c| {
+            !rt.config.faults.node_down(rt.topo.node_of_compute(c), at)
+        })
+        .into_iter()
+        .map(|(c, _)| (c, rt.topo.node_of_compute(c)))
+        .collect();
+    if let Some(bank) = rt.breakers.as_mut() {
+        let mut chosen = None;
+        for &(c, n) in &live {
+            let (ok, probe) = bank.allows(n, at, key);
+            if ok {
+                chosen = Some((c, n, probe.is_some()));
+                break;
+            }
+        }
+        if let Some((c, n, probed)) = chosen {
+            if probed {
+                rt.trace.push(TraceEvent::BreakerProbe { node: n, at });
+            }
+            return Some(c);
+        }
+    }
+    live.first().map(|&(c, _)| c)
+}
+
+/// Fails a whole job fast under
+/// [`isolate_failures`](crate::FaultControlPolicy::isolate_failures):
+/// the wave keeps draining, every not-yet-run task of the job is
+/// cancelled (its pending events commit as no-ops), the regions already
+/// handed over to cancelled tasks are scheduled for release, and the
+/// report records why. The lane the failing task held is freed at the
+/// fail time so the device keeps serving other jobs.
+#[allow(clippy::too_many_arguments)]
+fn fail_job(
+    w: &mut Wave,
+    spec: &JobSpec,
+    ji: usize,
+    task: TaskId,
+    compute: ComputeId,
+    lane: usize,
+    at: SimTime,
+    reason: FailReason,
+) {
+    let jid = w.job_ids[ji];
+    w.failed[ji] = true;
+    for t in 0..spec.tasks.len() {
+        let t_id = TaskId(t as u32);
+        if w.ran[w.gx(ji, t_id)] {
+            continue;
+        }
+        w.failed_tasks += 1;
+        // Handed-over inputs awaiting a task that will never run are
+        // owned by that task; schedule their release at the fail time.
+        // (The failing task's own exit below also covers its placements.)
+        w.defer_exit(at, OwnerId::Task { job: jid.0, task: u64::from(t_id.0) }, compute);
+    }
+    let (fsi, fli) = w.map.local_compute(compute);
+    let lanes = &mut w.shards[fsi].lane_free[fli];
+    let lane = lane.min(lanes.len() - 1);
+    lanes[lane] = at;
+    w.push_event(at, EventKind::LaneFree { compute });
+    w.report.failed_jobs.push(FailedJob {
+        job: jid,
+        task,
+        tenant: w.tenants[ji],
+        at,
+        reason,
+    });
+}
+
 /// A ready task joins its assigned device's queue (rerouted if the
 /// node is down), then the device tries to dispatch.
 pub(crate) fn enqueue(
@@ -197,18 +284,31 @@ pub(crate) fn enqueue(
     let entry = *w.schedule.entry(jid, task).expect("every task is scheduled");
 
     // Fault-aware admission: fall back to the cheapest live eligible
-    // device if the assigned one's node is down at ready time.
+    // device if the assigned one's node is down at ready time, or (when
+    // breakers are configured) if its node's breaker is open.
     let mut compute = entry.compute;
+    let key = (jid.0, u64::from(task.0));
     if rt
         .config
         .faults
         .node_down(rt.topo.node_of_compute(compute), at)
     {
-        compute = Scheduler::ranked_candidates(&rt.topo, &jobs[ji], task)
-            .into_iter()
-            .map(|(c, _)| c)
-            .find(|&c| !rt.config.faults.node_down(rt.topo.node_of_compute(c), at))
+        compute = pick_candidate(rt, &jobs[ji], task, at, key)
             .ok_or(DisaggError::NoComputeAvailable { job: jid, task })?;
+    } else if rt.breakers.is_some() {
+        let node = rt.topo.node_of_compute(compute);
+        let (ok, probed) = {
+            let bank = rt.breakers.as_mut().expect("checked above");
+            let (ok, probe) = bank.allows(node, at, key);
+            (ok, probe.is_some())
+        };
+        if probed {
+            rt.trace.push(TraceEvent::BreakerProbe { node, at });
+        }
+        if !ok {
+            compute = pick_candidate(rt, &jobs[ji], task, at, key)
+                .ok_or(DisaggError::NoComputeAvailable { job: jid, task })?;
+        }
     }
 
     rt.trace.push(TraceEvent::TaskQueued {
@@ -255,6 +355,11 @@ pub(crate) fn service(
         };
         let Reverse((_, queued_at, ji, task, est)) =
             w.shards[si].queues[li].pop().expect("checked non-empty");
+        if w.failed[ji] {
+            // The job failed fast after this entry was queued; discard
+            // it without consuming the lane.
+            continue;
+        }
         run_task(rt, w, jobs, Queued { ji, task, queued_at, est }, compute, lane, now)?;
     }
 }
@@ -421,6 +526,7 @@ pub(crate) fn run_task(
     let mut retries: u32 = 0;
     let mut handled = None;
     if !rt.config.faults.is_empty() {
+        let key = (jid.0, u64::from(task.0));
         while body_result.is_ok() {
             let Some((idx, fault_at)) =
                 first_interrupt(rt, compute, &placements, handled, attempt_start, finish)
@@ -429,24 +535,52 @@ pub(crate) fn run_task(
             };
             handled = Some(idx);
             retries += 1;
-            if retries > policy.max_retries {
-                return Err(DisaggError::RetriesExhausted {
-                    job: jid,
-                    task,
-                    attempts: retries,
+            let detect_at = fault_at + policy.detection_delay;
+            // Exhaustion checks, in contract order: the per-task retry
+            // cap first (the legacy `RecoveryPolicy` contract), then the
+            // tenant's retry budget — a failed charge fails the request
+            // fast instead of burning another attempt.
+            let tenant = w.tenants[ji];
+            let exhausted = if policy.exhausted(retries) {
+                Some(FailReason::RetriesExhausted)
+            } else if let (Some(t), Some(budgets)) = (tenant, rt.retry_budgets.as_mut()) {
+                (!budgets.charge(t, detect_at)).then_some(FailReason::RetryBudgetExhausted)
+            } else {
+                None
+            };
+            if let Some(reason) = exhausted {
+                if rt.config.fault_control.isolate_failures && tenant.is_some() {
+                    fail_job(w, spec, ji, task, compute, lane, detect_at, reason);
+                    return Ok(());
+                }
+                return Err(match reason {
+                    FailReason::RetriesExhausted => {
+                        DisaggError::RetriesExhausted { job: jid, task, attempts: retries }
+                    }
+                    FailReason::RetryBudgetExhausted => DisaggError::RetryBudgetExhausted {
+                        job: jid,
+                        task,
+                        tenant: tenant.unwrap_or(0),
+                        attempts: retries,
+                    },
                 });
             }
-            let detect_at = fault_at + policy.detection_delay;
             rt.trace.push(TraceEvent::FaultDetected {
                 job: jid.0,
                 task: task.0 as u64,
                 on: compute,
                 at: detect_at,
             });
-            let replacement = Scheduler::ranked_candidates(&rt.topo, spec, task)
-                .into_iter()
-                .map(|(c, _)| c)
-                .find(|&c| !rt.config.faults.node_down(rt.topo.node_of_compute(c), detect_at))
+            // Charge the node that faulted; a trip excludes it from the
+            // replacement ranking below (and from everyone else's).
+            if rt.breakers.is_some() {
+                let node = rt.topo.node_of_compute(compute);
+                let tripped = rt.breakers.as_mut().and_then(|b| b.on_fault(node, detect_at));
+                if tripped.is_some() {
+                    rt.trace.push(TraceEvent::BreakerTrip { node, at: detect_at });
+                }
+            }
+            let replacement = pick_candidate(rt, spec, task, detect_at, key)
                 .ok_or(DisaggError::NoComputeAvailable { job: jid, task })?;
             let relaunch_at = detect_at + policy.backoff_for(retries);
             rt.trace.push(TraceEvent::TaskRetry {
@@ -486,12 +620,20 @@ pub(crate) fn run_task(
             && finish - attempt_start > allowance
         {
             let spawn_at = attempt_start + allowance;
+            // Speculation is optional work: when breakers are active a
+            // backup only goes to a fully healthy node (read-only check;
+            // probe slots are reserved for mandatory retries).
             let backup = Scheduler::ranked_candidates(&rt.topo, spec, task)
                 .into_iter()
                 .map(|(c, _)| c)
                 .find(|&c| {
+                    let node = rt.topo.node_of_compute(c);
                     c != compute
-                        && !rt.config.faults.node_down(rt.topo.node_of_compute(c), spawn_at)
+                        && !rt.config.faults.node_down(node, spawn_at)
+                        && rt
+                            .breakers
+                            .as_ref()
+                            .is_none_or(|b| b.state(node) == BreakerState::Closed)
                 });
             if let Some(backup) = backup {
                 retries += 1;
@@ -558,6 +700,20 @@ pub(crate) fn run_task(
         on: compute,
         at: finish,
     });
+    // A clean finish heals: the node's strike count resets, and any
+    // breaker this task held a half-open probe slot on closes — even
+    // when speculation moved the winning attempt to a different node.
+    if rt.breakers.is_some() {
+        let node = rt.topo.node_of_compute(compute);
+        let closed = rt
+            .breakers
+            .as_mut()
+            .map(|b| b.on_success(node, (jid.0, u64::from(task.0)), finish))
+            .unwrap_or_default();
+        for t in closed {
+            rt.trace.push(TraceEvent::BreakerClose { node: t.node, at: finish });
+        }
+    }
     // A crash retry may have moved the task to a device with fewer
     // lanes (possibly on another shard); clamp the lane index before
     // booking, and free the lane by event so queued work dispatches the
@@ -688,6 +844,7 @@ pub(crate) fn run_task(
     }
     w.defer_exit(finish, who, compute);
 
+    w.ran[g] = true;
     w.report.tasks.push(TaskReport {
         job: jid,
         task,

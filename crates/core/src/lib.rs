@@ -38,6 +38,7 @@
 //! assert!(report.placements_clean());
 //! ```
 
+pub mod breaker;
 pub mod config;
 pub mod error;
 pub mod executor;
@@ -46,10 +47,13 @@ pub mod report;
 pub mod runtime;
 pub mod submission;
 
-pub use config::{RecoveryPolicy, RuntimeConfig};
+pub use breaker::{BreakerBank, BreakerState, BreakerTransition, RetryBudgets};
+pub use config::{
+    BreakerPolicy, FaultControlPolicy, RecoveryPolicy, RetryBudgetPolicy, RuntimeConfig,
+};
 pub use error::{DisaggError, RuntimeError};
 pub use profile::{RunProfile, TaskProfile};
-pub use report::{DeviceSummary, RunReport, TaskReport};
+pub use report::{DeviceSummary, FailReason, FailedJob, RunReport, TaskReport};
 pub use runtime::Runtime;
 pub use submission::{AdmissionPolicy, Submission};
 
@@ -59,10 +63,13 @@ pub use disagg_obs as obs;
 
 /// Everything an application or experiment typically imports.
 pub mod prelude {
-    pub use crate::config::{RecoveryPolicy, RuntimeConfig};
+    pub use crate::breaker::{BreakerBank, BreakerState, BreakerTransition, RetryBudgets};
+    pub use crate::config::{
+        BreakerPolicy, FaultControlPolicy, RecoveryPolicy, RetryBudgetPolicy, RuntimeConfig,
+    };
     pub use crate::error::{DisaggError, RuntimeError};
     pub use crate::profile::{RunProfile, TaskProfile};
-    pub use crate::report::{DeviceSummary, RunReport, TaskReport};
+    pub use crate::report::{DeviceSummary, FailReason, FailedJob, RunReport, TaskReport};
     pub use crate::runtime::Runtime;
     pub use crate::submission::{AdmissionPolicy, Submission};
     pub use disagg_dataflow::ctx::TaskCtx;

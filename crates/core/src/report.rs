@@ -43,6 +43,33 @@ impl TaskReport {
     }
 }
 
+/// Why a fault-isolated job failed (see
+/// [`crate::FaultControlPolicy::isolate_failures`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// The task burned through the [`crate::RecoveryPolicy`] retry cap.
+    RetriesExhausted,
+    /// The tenant's retry-budget token bucket was empty.
+    RetryBudgetExhausted,
+}
+
+/// One request-tagged job that failed fast under failure isolation
+/// instead of erroring the whole submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailedJob {
+    /// The job.
+    pub job: JobId,
+    /// The task whose retries ran out.
+    pub task: TaskId,
+    /// The tenant the job's request belongs to (`None` for untagged
+    /// jobs — only possible when isolation is extended beyond serving).
+    pub tenant: Option<u64>,
+    /// Virtual time the job was declared failed.
+    pub at: SimTime,
+    /// What exhausted it.
+    pub reason: FailReason,
+}
+
 /// Per-device usage summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceSummary {
@@ -102,6 +129,10 @@ pub struct RunReport {
     /// Metrics snapshot from the attached observer, if it keeps one
     /// (see [`crate::RuntimeConfig::with_observer`]).
     pub metrics: Option<MetricsSnapshot>,
+    /// Request-tagged jobs that failed fast under failure isolation
+    /// ([`crate::FaultControlPolicy::isolate_failures`]); empty on every
+    /// run that completes normally or does not isolate.
+    pub failed_jobs: Vec<FailedJob>,
 }
 
 impl RunReport {

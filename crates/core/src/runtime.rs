@@ -37,6 +37,7 @@ use disagg_sched::enforce::Auditor;
 use disagg_sched::lifetime::LifetimeManager;
 use disagg_sched::placement::PlacementEngine;
 
+use crate::breaker::{BreakerBank, BreakerState, BreakerTransition, RetryBudgets};
 use crate::config::RuntimeConfig;
 use crate::report::RunReport;
 use crate::submission::{AdmissionPolicy, Submission};
@@ -60,6 +61,13 @@ pub struct Runtime {
     /// Node-aligned topology partition for the sharded event loop
     /// (built once; the topology is immutable for the runtime's life).
     pub(crate) shard_map: ShardMap,
+    /// Per-node circuit breakers — `Some` only when
+    /// [`crate::FaultControlPolicy::breakers`] is configured. Mutated
+    /// exclusively from the executor's serial commit path.
+    pub(crate) breakers: Option<BreakerBank>,
+    /// Per-tenant retry-budget buckets — `Some` only when
+    /// [`crate::FaultControlPolicy::retry_budget`] is configured.
+    pub(crate) retry_budgets: Option<RetryBudgets>,
     pub(crate) next_job: u64,
     pub(crate) clock: SimTime,
 }
@@ -91,6 +99,8 @@ impl Runtime {
             hotness: HotnessTracker::new(),
             app_published: FxHashMap::default(),
             shard_map: ShardMap::partition(&topo, config.shards),
+            breakers: config.fault_control.breakers.map(BreakerBank::new),
+            retry_budgets: config.fault_control.retry_budget.map(RetryBudgets::new),
             next_job: 0,
             clock: SimTime::ZERO,
             topo,
@@ -134,6 +144,32 @@ impl Runtime {
     /// Only populated when the runtime is configured with `trace: true`.
     pub fn hotness(&self) -> &HotnessTracker {
         &self.hotness
+    }
+
+    /// Pushes an externally produced event into the runtime's trace —
+    /// the serving layer uses this to annotate shed and degraded
+    /// requests so the observer pipeline sees them in order.
+    pub fn annotate(&mut self, e: TraceEvent) {
+        self.trace.push(e);
+    }
+
+    /// Every circuit-breaker transition so far, in commit order (empty
+    /// when breakers are not configured).
+    pub fn breaker_transitions(&self) -> &[BreakerTransition] {
+        self.breakers.as_ref().map(|b| b.transitions()).unwrap_or(&[])
+    }
+
+    /// Nodes whose breakers are currently Open or HalfOpen, sorted.
+    pub fn unhealthy_nodes(&self) -> Vec<disagg_hwsim::ids::NodeId> {
+        self.breakers.as_ref().map(|b| b.unhealthy()).unwrap_or_default()
+    }
+
+    /// The breaker state of `node` (Closed when breakers are off).
+    pub fn breaker_state(&self, node: disagg_hwsim::ids::NodeId) -> BreakerState {
+        self.breakers
+            .as_ref()
+            .map(|b| b.state(node))
+            .unwrap_or(BreakerState::Closed)
     }
 
     /// Runs one hotness-driven tiering pass over the surviving regions
@@ -477,6 +513,7 @@ fn merge_reports(into: &mut RunReport, wave: RunReport) {
     into.persistent_replicas.extend(wave.persistent_replicas);
     into.events += wave.events;
     into.edges.extend(wave.edges);
+    into.failed_jobs.extend(wave.failed_jobs);
     // Metrics accumulate in the observer across waves; the last wave's
     // snapshot is the complete one.
     if wave.metrics.is_some() {

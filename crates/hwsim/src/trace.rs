@@ -8,7 +8,7 @@
 //! dataflow layer sits above this crate.
 
 use crate::device::AccessOp;
-use crate::ids::{ComputeId, MemDeviceId};
+use crate::ids::{ComputeId, MemDeviceId, NodeId};
 use crate::time::{SimDuration, SimTime};
 
 /// One traced event.
@@ -177,6 +177,54 @@ pub enum TraceEvent {
         /// Task index of the triggering task, if any.
         task: Option<u64>,
     },
+    /// A circuit breaker opened: enough `FaultDetected` strikes landed
+    /// on one node that placement stops offering it candidates until the
+    /// cool-down elapses. Emitted serially from the commit path, so the
+    /// transition order is deterministic at every shard count.
+    BreakerTrip {
+        /// The node the breaker guards.
+        node: NodeId,
+        /// When the breaker opened.
+        at: SimTime,
+    },
+    /// An open breaker's cool-down elapsed and one probe task was
+    /// admitted onto the node (half-open state).
+    BreakerProbe {
+        /// The node the breaker guards.
+        node: NodeId,
+        /// When the probe was admitted.
+        at: SimTime,
+    },
+    /// A half-open breaker's probe task finished cleanly and the breaker
+    /// closed; the node is back in the candidate set.
+    BreakerClose {
+        /// The node the breaker guards.
+        node: NodeId,
+        /// When the breaker closed.
+        at: SimTime,
+    },
+    /// The serving control plane shed a request at admission because its
+    /// deadline (arrival + calibrated service estimate under the current
+    /// queue depth) could not be met. Distinct from quota rejection.
+    RequestShed {
+        /// Request identifier (the serving layer's request index).
+        request: u64,
+        /// Tenant the request belongs to.
+        tenant: u64,
+        /// Arrival time of the shed request.
+        at: SimTime,
+    },
+    /// The serving control plane instantiated a request from its
+    /// tenant's *degraded* template (brownout mode) instead of the
+    /// normal one.
+    RequestDegraded {
+        /// Request identifier (the serving layer's request index).
+        request: u64,
+        /// Tenant the request belongs to.
+        tenant: u64,
+        /// Arrival time of the degraded request.
+        at: SimTime,
+    },
     /// A served request's identity, stamped once per job at submission
     /// time so every later `job`-carrying event in the same trace can be
     /// attributed back to the request (and tenant) that caused it.
@@ -210,6 +258,11 @@ impl TraceEvent {
             | TraceEvent::FaultDetected { at, .. }
             | TraceEvent::TaskRetry { at, .. }
             | TraceEvent::Reconstruct { at, .. }
+            | TraceEvent::BreakerTrip { at, .. }
+            | TraceEvent::BreakerProbe { at, .. }
+            | TraceEvent::BreakerClose { at, .. }
+            | TraceEvent::RequestShed { at, .. }
+            | TraceEvent::RequestDegraded { at, .. }
             | TraceEvent::RequestTag { at, .. } => at,
         }
     }
@@ -371,7 +424,9 @@ impl Trace {
                 | TraceEvent::FaultDetected { job, .. }
                 | TraceEvent::TaskRetry { job, .. }
                 | TraceEvent::Reconstruct { job: Some(job), .. } => req(job),
-                TraceEvent::RequestTag { request, .. } => request.to_string(),
+                TraceEvent::RequestTag { request, .. }
+                | TraceEvent::RequestShed { request, .. }
+                | TraceEvent::RequestDegraded { request, .. } => request.to_string(),
                 _ => String::new(),
             };
             let line = match *e {
@@ -446,6 +501,21 @@ impl Trace {
                         job.map(|j| j.to_string()).unwrap_or_default(),
                         task.map(|t| t.to_string()).unwrap_or_default()
                     )
+                }
+                TraceEvent::BreakerTrip { node, at } => {
+                    format!("breaker_trip,{},,,,,,,,,,node{}", at.as_nanos(), node.0)
+                }
+                TraceEvent::BreakerProbe { node, at } => {
+                    format!("breaker_probe,{},,,,,,,,,,node{}", at.as_nanos(), node.0)
+                }
+                TraceEvent::BreakerClose { node, at } => {
+                    format!("breaker_close,{},,,,,,,,,,node{}", at.as_nanos(), node.0)
+                }
+                TraceEvent::RequestShed { request: _, tenant, at } => {
+                    format!("request_shed,{},,,,,,,,,,tenant{tenant}", at.as_nanos())
+                }
+                TraceEvent::RequestDegraded { request: _, tenant, at } => {
+                    format!("request_degraded,{},,,,,,,,,,tenant{tenant}", at.as_nanos())
                 }
                 TraceEvent::RequestTag { request: _, tenant, job, at } => {
                     format!("request_tag,{},,,,,,{job},,,,tenant{tenant}", at.as_nanos())
@@ -599,9 +669,14 @@ mod tests {
         });
         t.push(TraceEvent::TaskFinish { job: 0, task: 1, on: ComputeId(0), at: SimTime(5) });
         t.push(TraceEvent::Free { region: 1, dev: MemDeviceId(1), bytes: 64, at: SimTime(6) });
+        t.push(TraceEvent::BreakerTrip { node: NodeId(0), at: SimTime(6) });
+        t.push(TraceEvent::BreakerProbe { node: NodeId(0), at: SimTime(7) });
+        t.push(TraceEvent::BreakerClose { node: NodeId(0), at: SimTime(8) });
+        t.push(TraceEvent::RequestShed { request: 9, tenant: 3, at: SimTime(8) });
+        t.push(TraceEvent::RequestDegraded { request: 10, tenant: 3, at: SimTime(9) });
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 14, "header + 13 events");
+        assert_eq!(lines.len(), 19, "header + 18 events");
         assert!(lines[0].starts_with("kind,at_ns"));
         for kind in [
             "request_tag",
@@ -617,6 +692,11 @@ mod tests {
             "reconstruct",
             "task_finish",
             "free",
+            "breaker_trip",
+            "breaker_probe",
+            "breaker_close",
+            "request_shed",
+            "request_degraded",
         ] {
             assert!(csv.lines().any(|l| l.starts_with(kind)), "missing {kind}");
         }
@@ -646,6 +726,13 @@ mod tests {
         // Non-job rows leave the column empty.
         let alloc = lines.iter().find(|l| l.starts_with("alloc")).unwrap();
         assert_eq!(alloc.split(',').nth(req_col).unwrap(), "");
+        // Shed/degraded requests carry their own request id; breaker
+        // rows carry the node in the op column and no request.
+        let shed = lines.iter().find(|l| l.starts_with("request_shed")).unwrap();
+        assert_eq!(shed.split(',').nth(req_col).unwrap(), "9");
+        let trip = lines.iter().find(|l| l.starts_with("breaker_trip")).unwrap();
+        assert!(trip.contains("node0"), "breaker row names its node: {trip}");
+        assert_eq!(trip.split(',').nth(req_col).unwrap(), "");
     }
 
     #[test]

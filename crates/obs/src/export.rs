@@ -257,7 +257,14 @@ fn device_parts(events: &[TraceEvent], topo: &Topology) -> Vec<String> {
             }
             TraceEvent::TaskFinish { .. }
             | TraceEvent::TaskQueued { .. }
-            | TraceEvent::RequestTag { .. } => {}
+            | TraceEvent::RequestTag { .. }
+            // Breaker and serving-control events have no device lane in
+            // the Chrome view; they surface via metrics and the CSV.
+            | TraceEvent::BreakerTrip { .. }
+            | TraceEvent::BreakerProbe { .. }
+            | TraceEvent::BreakerClose { .. }
+            | TraceEvent::RequestShed { .. }
+            | TraceEvent::RequestDegraded { .. } => {}
         }
         if !s.is_empty() {
             parts.push(s);

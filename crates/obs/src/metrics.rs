@@ -280,6 +280,27 @@ impl MetricsRegistry {
                 self.observe("reconstruct_ns", took.as_nanos());
             }
             TraceEvent::RequestTag { .. } => self.incr("events.request_tag", 1),
+            TraceEvent::BreakerTrip { node, .. } => {
+                self.incr("events.breaker_trip", 1);
+                self.incr("breaker.trips", 1);
+                self.incr(&format!("node{}.breaker.trips", node.0), 1);
+            }
+            TraceEvent::BreakerProbe { .. } => {
+                self.incr("events.breaker_probe", 1);
+                self.incr("breaker.probes", 1);
+            }
+            TraceEvent::BreakerClose { .. } => {
+                self.incr("events.breaker_close", 1);
+                self.incr("breaker.closes", 1);
+            }
+            TraceEvent::RequestShed { .. } => {
+                self.incr("events.request_shed", 1);
+                self.incr("serve.shed", 1);
+            }
+            TraceEvent::RequestDegraded { .. } => {
+                self.incr("events.request_degraded", 1);
+                self.incr("serve.degraded", 1);
+            }
         }
     }
 

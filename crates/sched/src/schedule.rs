@@ -274,10 +274,24 @@ impl Scheduler {
         spec: &JobSpec,
         task: TaskId,
     ) -> Vec<(ComputeId, f64)> {
+        Self::ranked_candidates_where(topo, spec, task, |_| true)
+    }
+
+    /// [`ranked_candidates`](Self::ranked_candidates) restricted to
+    /// devices passing `pred` — the fault-aware control plane filters
+    /// out nodes whose circuit breaker is open *before* ranking, so an
+    /// excluded device never shadows a healthy one in the ordering.
+    pub fn ranked_candidates_where(
+        topo: &Topology,
+        spec: &JobSpec,
+        task: TaskId,
+        pred: impl Fn(ComputeId) -> bool,
+    ) -> Vec<(ComputeId, f64)> {
         let bw = Self::best_bws(topo);
         let mut ranked: Vec<(ComputeId, f64)> =
             Self::eligible(topo, spec.tasks[task.index()].compute)
                 .into_iter()
+                .filter(|&c| pred(c))
                 .map(|c| (c, Self::estimate_with(topo, &bw, spec, task, c)))
                 .collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));

@@ -21,6 +21,9 @@ pub struct QuotaTracker {
     quotas: Vec<u64>,
     /// Per-tenant outstanding predicted bytes.
     outstanding: Vec<u64>,
+    /// Per-tenant count of in-flight admitted requests — the queue-depth
+    /// signal deadline shedding reads.
+    depth: Vec<usize>,
     /// Admitted requests still in flight: (estimated finish, tenant,
     /// bytes), popped as the arrival clock passes their finish.
     inflight: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
@@ -33,6 +36,7 @@ impl QuotaTracker {
         QuotaTracker {
             quotas: vec![quota.unwrap_or(u64::MAX); tenants],
             outstanding: vec![0; tenants],
+            depth: vec![0; tenants],
             inflight: BinaryHeap::new(),
         }
     }
@@ -58,6 +62,7 @@ impl QuotaTracker {
             }
             self.inflight.pop();
             self.outstanding[tenant] = self.outstanding[tenant].saturating_sub(bytes);
+            self.depth[tenant] = self.depth[tenant].saturating_sub(1);
         }
     }
 
@@ -78,6 +83,7 @@ impl QuotaTracker {
             return false;
         }
         self.outstanding[tenant] = used + bytes;
+        self.depth[tenant] += 1;
         self.inflight.push(Reverse((now + est_service, tenant, bytes)));
         true
     }
@@ -85,6 +91,13 @@ impl QuotaTracker {
     /// A tenant's currently outstanding predicted bytes.
     pub fn outstanding(&self, tenant: usize) -> u64 {
         self.outstanding.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// A tenant's current in-flight request count (admitted, not yet
+    /// past its estimated finish). Call [`Self::release_until`] first to
+    /// read the depth as of a given instant.
+    pub fn inflight(&self, tenant: usize) -> usize {
+        self.depth.get(tenant).copied().unwrap_or(0)
     }
 }
 
@@ -114,6 +127,23 @@ mod tests {
         for i in 0..32 {
             assert!(q.admit(0, u64::MAX / 64, t0, SimDuration::from_nanos(i)));
         }
+    }
+
+    #[test]
+    fn inflight_depth_tracks_admissions_and_releases() {
+        let mut q = QuotaTracker::new(2, None);
+        let svc = SimDuration::from_micros(10);
+        assert_eq!(q.inflight(0), 0);
+        assert!(q.admit(0, 10, SimTime::ZERO, svc));
+        assert!(q.admit(0, 10, SimTime(1), svc));
+        assert!(q.admit(1, 10, SimTime(2), svc));
+        assert_eq!(q.inflight(0), 2);
+        assert_eq!(q.inflight(1), 1);
+        q.release_until(SimTime(10_000));
+        assert_eq!(q.inflight(0), 1, "first request past its estimated finish");
+        q.release_until(SimTime(20_000));
+        assert_eq!(q.inflight(0), 0);
+        assert_eq!(q.inflight(1), 0);
     }
 
     #[test]

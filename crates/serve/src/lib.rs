@@ -53,7 +53,7 @@ pub mod report;
 
 pub use admission::QuotaTracker;
 pub use arrival::ArrivalProcess;
-pub use report::{RequestRecord, ServeReport, Slo, TenantStats, UtilSample};
+pub use report::{RequestRecord, ServeReport, Slo, TenantStats, UtilSample, Verdict};
 
 use disagg_core::report::RunReport;
 use disagg_core::{Runtime, RuntimeConfig, RuntimeError, Submission};
@@ -77,6 +77,66 @@ pub struct Request {
     pub seed: u64,
 }
 
+/// Overload- and fault-aware serving controls, all deterministic in
+/// virtual time. `None` on [`ServeConfig::control`] keeps the legacy
+/// single-batch pipeline bit-for-bit unchanged.
+///
+/// The control plane splits the request stream into **epochs**: each
+/// epoch's admitted jobs run as one submission, and at the epoch
+/// boundary the layer reads the runtime's circuit-breaker state and the
+/// epoch's per-tenant SLO outcomes to steer the next epoch (brownout).
+/// Deadline shedding is per-arrival: a request whose completion
+/// estimate — the calibrated service time inflated by the tenant's
+/// in-flight queue depth — already misses its p99 SLO never enters the
+/// system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlPlane {
+    /// Number of control epochs the request stream is split into
+    /// (clamped to at least 1). More epochs react faster but batch
+    /// less.
+    pub epochs: usize,
+    /// Shed requests whose completion estimate misses the tenant's p99
+    /// SLO at arrival (no-op for tenants without an SLO).
+    pub shed_deadlines: bool,
+    /// Queue-depth sensitivity of the completion estimate: each
+    /// in-flight request of the tenant inflates the estimate by this
+    /// fraction of the calibrated service time.
+    pub depth_factor: f64,
+    /// Brownout trigger: at an epoch boundary a tenant switches to its
+    /// degraded template when any breaker is open **or** the tenant's
+    /// bad fraction (fast-failed or over-p99) in the closing epoch
+    /// exceeded this threshold; it switches back when both clear.
+    /// `None` disables brownout.
+    pub brownout_bad_fraction: Option<f64>,
+    /// Assumed service-time ratio of a tenant's degraded template
+    /// relative to its primary. Deadline shedding degrades before it
+    /// drops: a request whose full-template estimate misses its p99 is
+    /// re-estimated at this ratio and admitted degraded if that fits.
+    pub degraded_cost_ratio: f64,
+}
+
+impl Default for ControlPlane {
+    fn default() -> ControlPlane {
+        ControlPlane {
+            epochs: 8,
+            shed_deadlines: true,
+            depth_factor: 0.5,
+            brownout_bad_fraction: Some(0.25),
+            degraded_cost_ratio: 0.25,
+        }
+    }
+}
+
+/// How one request left the serving loop (internal bookkeeping behind
+/// [`Verdict`]; `Ran` becomes `Completed` once its finish is known).
+#[derive(Clone, Copy)]
+enum Fate {
+    Rejected,
+    Shed,
+    Ran { degraded: bool },
+    Failed { degraded: bool },
+}
+
 /// Describes one open-loop serving run.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -98,6 +158,9 @@ pub struct ServeConfig {
     pub slo: Option<Slo>,
     /// Per-tenant SLO overrides as `(tenant, slo)`.
     pub tenant_slos: Vec<(usize, Slo)>,
+    /// Overload/fault controls; `None` keeps the legacy single-batch
+    /// pipeline bit-for-bit unchanged.
+    pub control: Option<ControlPlane>,
 }
 
 impl Default for ServeConfig {
@@ -112,11 +175,20 @@ impl Default for ServeConfig {
             tenant_quotas: Vec::new(),
             slo: None,
             tenant_slos: Vec::new(),
+            control: None,
         }
     }
 }
 
 type TemplateFn = Box<dyn Fn(&Request) -> JobSpec>;
+
+/// One registered template: the primary job builder plus an optional
+/// degraded (brownout) variant serving cheaper answers under stress.
+struct Template {
+    name: String,
+    make: TemplateFn,
+    degraded: Option<TemplateFn>,
+}
 
 /// A registry of job templates plus the serving loop over them.
 ///
@@ -125,7 +197,7 @@ type TemplateFn = Box<dyn Fn(&Request) -> JobSpec>;
 /// mix.
 #[derive(Default)]
 pub struct ServeLayer {
-    templates: Vec<(String, TemplateFn)>,
+    templates: Vec<Template>,
 }
 
 impl ServeLayer {
@@ -141,7 +213,32 @@ impl ServeLayer {
         name: impl Into<String>,
         template: impl Fn(&Request) -> JobSpec + 'static,
     ) -> &mut ServeLayer {
-        self.templates.push((name.into(), Box::new(template)));
+        self.templates.push(Template {
+            name: name.into(),
+            make: Box::new(template),
+            degraded: None,
+        });
+        self
+    }
+
+    /// Attaches a degraded (brownout) variant to an already registered
+    /// template: while a tenant is browned out, new requests
+    /// instantiate this cheaper job instead of the primary one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no template named `name` is registered.
+    pub fn register_degraded(
+        &mut self,
+        name: &str,
+        template: impl Fn(&Request) -> JobSpec + 'static,
+    ) -> &mut ServeLayer {
+        let t = self
+            .templates
+            .iter_mut()
+            .find(|t| t.name == name)
+            .expect("register the primary template before its degraded variant");
+        t.degraded = Some(Box::new(template));
         self
     }
 
@@ -157,14 +254,14 @@ impl ServeLayer {
 
     /// Template name serving a tenant.
     pub fn template_for(&self, tenant: usize) -> &str {
-        &self.templates[tenant % self.templates.len()].0
+        &self.templates[tenant % self.templates.len()].name
     }
 
     /// Instantiates one request's job from the template serving
     /// `tenant` — what the serving loop does internally, exposed for
     /// calibration and tests.
     pub fn instantiate(&self, tenant: usize, req: &Request) -> JobSpec {
-        (self.templates[tenant % self.templates.len()].1)(req)
+        (self.templates[tenant % self.templates.len()].make)(req)
     }
 
     /// Calibrates each template's service-time estimate: one
@@ -174,7 +271,7 @@ impl ServeLayer {
     /// come from the real run.
     fn calibrate(&self, rt: &Runtime, cfg: &ServeConfig) -> Vec<SimDuration> {
         let mut est = Vec::with_capacity(self.templates.len());
-        for (ti, (_, template)) in self.templates.iter().enumerate() {
+        for (ti, template) in self.templates.iter().enumerate() {
             let req = Request {
                 index: 0,
                 tenant: ti,
@@ -183,7 +280,7 @@ impl ServeLayer {
             };
             let mut probe = Runtime::new(rt.topology().clone(), RuntimeConfig::default());
             let makespan = probe
-                .execute(template(&req))
+                .execute((template.make)(&req))
                 .map(|r| r.makespan)
                 .unwrap_or(SimDuration::ZERO);
             est.push(makespan);
@@ -228,31 +325,12 @@ impl ServeLayer {
             quotas.set_quota(tenant, bytes);
         }
 
-        let t0 = rt.now();
-        let mut admitted_jobs: Vec<JobSpec> = Vec::new();
-        let mut admitted_offsets: Vec<SimDuration> = Vec::new();
-        let mut admitted_tags: Vec<(u64, u64)> = Vec::new();
-        let mut admitted_of_request: Vec<Option<usize>> = Vec::with_capacity(cfg.requests);
-        for req in &requests {
-            let template = &self.templates[req.tenant % self.templates.len()].1;
-            let job = template(req);
-            let footprint = Runtime::predicted_footprint(&job);
-            let svc = est_service[req.tenant % est_service.len()];
-            if quotas.admit(req.tenant, footprint, t0 + req.arrival, svc) {
-                admitted_of_request.push(Some(admitted_jobs.len()));
-                admitted_jobs.push(job);
-                admitted_offsets.push(req.arrival);
-                admitted_tags.push((req.index as u64, req.tenant as u64));
-            } else {
-                admitted_of_request.push(None);
-            }
-        }
-
         // Utilization denominator: the admission-managed pool — the sum
         // of finite per-tenant quotas when any are configured, the
         // rack's total memory capacity otherwise. Measuring against the
         // managed pool keeps the curve legible: request footprints are
-        // invisible against multi-TiB rack capacity.
+        // invisible against multi-TiB rack capacity. Snapshotted before
+        // the run so `pool_at_start` reads pre-run residency.
         let quota_pool: u64 = (0..cfg.tenants)
             .map(|t| quotas.quota(t))
             .filter(|&q| q != u64::MAX)
@@ -271,27 +349,180 @@ impl ServeLayer {
             .map(|d| rt.manager().pool().allocated(d))
             .sum();
 
-        // Execute the admitted stream; runtime-level admission
-        // (watermark waves) still applies underneath the quotas.
-        let run: RunReport = if admitted_jobs.is_empty() {
-            RunReport::default()
-        } else {
-            rt.execute(
-                Submission::batch(admitted_jobs)
-                    .arrivals(admitted_offsets)
-                    .requests(admitted_tags),
-            )?
+        let t0 = rt.now();
+        let cp = cfg.control;
+        let epochs = cp.map_or(1, |c| c.epochs.max(1));
+        let chunk_size = cfg.requests.div_ceil(epochs).max(1);
+        let slo_for = |tenant: usize| -> Option<Slo> {
+            cfg.tenant_slos
+                .iter()
+                .find(|(t, _)| *t == tenant)
+                .map(|(_, s)| *s)
+                .or(cfg.slo)
         };
 
-        // Map admitted requests back to their jobs: the executor hands
-        // out sequential JobIds in submission order.
-        let base = run.tasks.iter().map(|t| t.job.0).min().unwrap_or(0);
-        let admitted_count = admitted_of_request.iter().flatten().count();
-        let mut finish_of_admitted: Vec<SimTime> = vec![t0; admitted_count];
-        for t in &run.tasks {
-            let slot = (t.job.0 - base) as usize;
-            if let Some(f) = finish_of_admitted.get_mut(slot) {
-                *f = (*f).max(t.finish);
+        let mut fate: Vec<Fate> = vec![Fate::Rejected; cfg.requests];
+        let mut finish_abs: Vec<SimTime> = vec![t0; cfg.requests];
+        let mut browned: Vec<bool> = vec![false; cfg.tenants];
+        let mut run_acc = RunReport::default();
+
+        for chunk in requests.chunks(chunk_size) {
+            // Admission over this epoch's arrivals, causal in arrival
+            // order: deadline shedding first (a request whose completion
+            // estimate already misses its p99 SLO never enters), then
+            // quota admission; browned-out tenants instantiate their
+            // degraded template.
+            let epoch_start = rt.now();
+            let mut jobs: Vec<JobSpec> = Vec::new();
+            let mut offs: Vec<SimDuration> = Vec::new();
+            let mut tags: Vec<(u64, u64)> = Vec::new();
+            let mut epoch_slots: Vec<usize> = Vec::new();
+            for req in chunk {
+                let arrival_abs = t0 + req.arrival;
+                let svc = est_service[req.tenant % est_service.len()];
+                let template = &self.templates[req.tenant % self.templates.len()];
+                let mut degrade = browned[req.tenant] && template.degraded.is_some();
+                if let Some(c) = cp.filter(|c| c.shed_deadlines) {
+                    if let Some(slo) = slo_for(req.tenant) {
+                        quotas.release_until(arrival_abs);
+                        let depth = quotas.inflight(req.tenant);
+                        // Latency budget already burned waiting for this
+                        // epoch: the request arrived at `arrival_abs` but
+                        // is only being admitted now, at `epoch_start`.
+                        // Under overload this lag, not the queue depth,
+                        // is what makes a request hopeless.
+                        let lag = if epoch_start > arrival_abs {
+                            epoch_start - arrival_abs
+                        } else {
+                            SimDuration::ZERO
+                        };
+                        let est_at = |cost: f64| {
+                            lag + SimDuration::from_nanos_f64(
+                                cost * (1.0 + c.depth_factor * depth as f64),
+                            )
+                        };
+                        if est_at(svc.as_nanos() as f64) > slo.p99 {
+                            // Degrade before drop: a hopeless full
+                            // request may still meet its deadline on
+                            // the tenant's cheaper template.
+                            let deg_cost =
+                                svc.as_nanos() as f64 * c.degraded_cost_ratio;
+                            if template.degraded.is_some()
+                                && est_at(deg_cost) <= slo.p99
+                            {
+                                degrade = true;
+                            } else {
+                                fate[req.index] = Fate::Shed;
+                                rt.annotate(TraceEvent::RequestShed {
+                                    request: req.index as u64,
+                                    tenant: req.tenant as u64,
+                                    at: arrival_abs,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                }
+                let job = if degrade {
+                    (template.degraded.as_ref().expect("checked"))(req)
+                } else {
+                    (template.make)(req)
+                };
+                let footprint = Runtime::predicted_footprint(&job);
+                if quotas.admit(req.tenant, footprint, arrival_abs, svc) {
+                    if degrade {
+                        rt.annotate(TraceEvent::RequestDegraded {
+                            request: req.index as u64,
+                            tenant: req.tenant as u64,
+                            at: arrival_abs,
+                        });
+                    }
+                    fate[req.index] = Fate::Ran { degraded: degrade };
+                    epoch_slots.push(req.index);
+                    jobs.push(job);
+                    // Arrival offsets stay anchored at t0; an epoch
+                    // starting after a request's arrival runs it
+                    // immediately (the request was ready, batching was
+                    // the gate).
+                    offs.push(if arrival_abs > epoch_start {
+                        arrival_abs - epoch_start
+                    } else {
+                        SimDuration::ZERO
+                    });
+                    tags.push((req.index as u64, req.tenant as u64));
+                } else {
+                    fate[req.index] = Fate::Rejected;
+                }
+            }
+            if jobs.is_empty() {
+                continue;
+            }
+
+            // Execute the epoch; runtime-level admission (watermark
+            // waves) still applies underneath the quotas.
+            let run: RunReport = rt.execute(
+                Submission::batch(jobs).arrivals(offs).requests(tags),
+            )?;
+
+            // Map the epoch's requests back to their jobs: the executor
+            // hands out sequential JobIds in submission order. Jobs that
+            // failed fast may have run no task at all, so the base is
+            // the minimum over completed *and* failed jobs.
+            let base = run
+                .tasks
+                .iter()
+                .map(|t| t.job.0)
+                .chain(run.failed_jobs.iter().map(|f| f.job.0))
+                .min()
+                .unwrap_or(0);
+            for t in &run.tasks {
+                if let Some(&ri) = epoch_slots.get((t.job.0 - base) as usize) {
+                    finish_abs[ri] = finish_abs[ri].max(t.finish);
+                }
+            }
+            for f in &run.failed_jobs {
+                if let Some(&ri) = epoch_slots.get((f.job.0 - base) as usize) {
+                    let degraded = matches!(fate[ri], Fate::Ran { degraded: true });
+                    fate[ri] = Fate::Failed { degraded };
+                }
+            }
+            merge_runs(&mut run_acc, run);
+
+            // Brownout decision at the epoch boundary: any open breaker
+            // or a tenant burning SLO too fast switches that tenant's
+            // *next* instantiations to the degraded template; both
+            // clearing switches it back.
+            if let Some(threshold) = cp.and_then(|c| c.brownout_bad_fraction) {
+                let tripped = !rt.unhealthy_nodes().is_empty();
+                let mut ran = vec![0usize; cfg.tenants];
+                let mut bad = vec![0usize; cfg.tenants];
+                for req in chunk {
+                    match fate[req.index] {
+                        // A shed admission is an SLO miss the control
+                        // plane took pre-emptively: it must count
+                        // toward the tenant's bad fraction, or heavy
+                        // shedding masks the very overload brownout
+                        // exists to relieve.
+                        Fate::Failed { .. } | Fate::Shed => {
+                            ran[req.tenant] += 1;
+                            bad[req.tenant] += 1;
+                        }
+                        Fate::Ran { .. } => {
+                            ran[req.tenant] += 1;
+                            if let Some(slo) = slo_for(req.tenant) {
+                                let lat = finish_abs[req.index] - (t0 + req.arrival);
+                                if lat > slo.p99 {
+                                    bad[req.tenant] += 1;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                for t in 0..cfg.tenants {
+                    browned[t] =
+                        tripped || (ran[t] > 0 && bad[t] as f64 > threshold * ran[t] as f64);
+                }
             }
         }
 
@@ -304,6 +535,9 @@ impl ServeLayer {
                 offered: 0,
                 admitted: 0,
                 rejected: 0,
+                shed: 0,
+                fast_failed: 0,
+                degraded: 0,
                 sojourn: Histogram::default(),
                 p50: SimDuration::ZERO,
                 p99: SimDuration::ZERO,
@@ -311,28 +545,45 @@ impl ServeLayer {
                 slo_met: true,
             })
             .collect();
-        for (req, slot) in requests.iter().zip(&admitted_of_request) {
+        for req in &requests {
             let ts = &mut tenants[req.tenant];
             ts.offered += 1;
-            let latency = match slot {
-                Some(i) => {
+            let (verdict, degraded, latency) = match fate[req.index] {
+                Fate::Rejected => {
+                    ts.rejected += 1;
+                    (Verdict::Rejected, false, None)
+                }
+                Fate::Shed => {
+                    ts.shed += 1;
+                    (Verdict::Shed, false, None)
+                }
+                Fate::Failed { degraded } => {
                     ts.admitted += 1;
-                    let lat = finish_of_admitted[*i] - (t0 + req.arrival);
+                    ts.fast_failed += 1;
+                    if degraded {
+                        ts.degraded += 1;
+                    }
+                    (Verdict::FastFailed, degraded, None)
+                }
+                Fate::Ran { degraded } => {
+                    ts.admitted += 1;
+                    if degraded {
+                        ts.degraded += 1;
+                    }
+                    let lat = finish_abs[req.index] - (t0 + req.arrival);
                     ts.sojourn.observe(lat.as_nanos());
                     sojourn.observe(lat.as_nanos());
-                    Some(lat)
-                }
-                None => {
-                    ts.rejected += 1;
-                    None
+                    (Verdict::Completed, degraded, Some(lat))
                 }
             };
             records.push(RequestRecord {
                 index: req.index,
                 tenant: req.tenant,
                 arrival: req.arrival,
-                admitted: slot.is_some(),
+                admitted: matches!(verdict, Verdict::Completed | Verdict::FastFailed),
                 latency,
+                verdict,
+                degraded,
             });
         }
         for ts in &mut tenants {
@@ -351,7 +602,7 @@ impl ServeLayer {
         }
 
         let (util_curve, peak_util) =
-            util_curve(rt, t0, run.makespan, pool_at_start, pool_capacity);
+            util_curve(rt, t0, run_acc.makespan, pool_at_start, pool_capacity);
 
         // Request-centric observability, when the runtime traces: one
         // causal span per admitted request (assembled from the
@@ -370,9 +621,12 @@ impl ServeLayer {
 
         Ok(ServeReport {
             offered: cfg.requests,
-            admitted: admitted_count,
-            rejected: cfg.requests - admitted_count,
-            makespan: run.makespan,
+            admitted: tenants.iter().map(|t| t.admitted).sum(),
+            rejected: tenants.iter().map(|t| t.rejected).sum(),
+            shed: tenants.iter().map(|t| t.shed).sum(),
+            fast_failed: tenants.iter().map(|t| t.fast_failed).sum(),
+            degraded: tenants.iter().map(|t| t.degraded).sum(),
+            makespan: run_acc.makespan,
             sojourn,
             tenants,
             requests: records,
@@ -381,9 +635,34 @@ impl ServeLayer {
             spans,
             tail_attribution: tail,
             burn,
-            run,
+            breaker_transitions: rt.breaker_transitions().to_vec(),
+            run: run_acc,
         })
     }
+}
+
+/// Folds one epoch's executor report into the run-wide accumulator,
+/// mirroring the runtime's own cross-wave merge: counters add, lists
+/// extend, per-device summaries and metrics snapshots are replaced by
+/// the latest epoch's (they are cumulative inside the runtime).
+fn merge_runs(into: &mut RunReport, epoch: RunReport) {
+    into.makespan += epoch.makespan;
+    into.tasks.extend(epoch.tasks);
+    into.bytes_moved += epoch.bytes_moved;
+    into.bytes_ownership_transferred += epoch.bytes_ownership_transferred;
+    into.ownership_transfers += epoch.ownership_transfers;
+    into.handover_copies += epoch.handover_copies;
+    into.placements.extend(epoch.placements);
+    into.violations.extend(epoch.violations);
+    into.denials += epoch.denials;
+    into.devices = epoch.devices;
+    into.persistent_replicas.extend(epoch.persistent_replicas);
+    into.events += epoch.events;
+    into.edges.extend(epoch.edges);
+    if epoch.metrics.is_some() {
+        into.metrics = epoch.metrics;
+    }
+    into.failed_jobs.extend(epoch.failed_jobs);
 }
 
 /// Windows in a serving run's SLO burn curve — matches the granularity
@@ -630,5 +909,169 @@ mod tests {
         assert!(report.spans.is_empty());
         assert!(report.tail_attribution.is_empty());
         assert!(report.burn.is_empty());
+    }
+
+    #[test]
+    fn inert_control_plane_matches_legacy_exactly() {
+        let run_with = |control: Option<ControlPlane>| {
+            let (topo, _ids) = single_server();
+            let mut rt = Runtime::new(topo, RuntimeConfig::default());
+            let cfg = ServeConfig {
+                requests: 24,
+                tenants: 3,
+                slo: Some(Slo {
+                    p50: SimDuration::from_micros(50),
+                    p99: SimDuration::from_millis(1),
+                }),
+                control,
+                ..ServeConfig::default()
+            };
+            layer().run(&mut rt, &cfg).unwrap()
+        };
+        let legacy = run_with(None);
+        // One epoch, no shedding, no brownout: the unified path must
+        // reduce to the legacy single-batch pipeline bit-for-bit.
+        let inert = run_with(Some(ControlPlane {
+            epochs: 1,
+            shed_deadlines: false,
+            depth_factor: 0.0,
+            brownout_bad_fraction: None,
+            degraded_cost_ratio: 0.25,
+        }));
+        assert_eq!(legacy.requests, inert.requests);
+        assert_eq!(legacy.sojourn, inert.sojourn);
+        assert_eq!(legacy.makespan, inert.makespan);
+        assert_eq!(legacy.tenants, inert.tenants);
+        assert_eq!(legacy.shed, 0);
+        assert_eq!(inert.shed, 0);
+    }
+
+    #[test]
+    fn deadline_shedding_sheds_hopeless_requests() {
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        let cfg = ServeConfig {
+            requests: 16,
+            tenants: 2,
+            // Even the calibrated estimate at depth 0 misses this SLO.
+            slo: Some(Slo {
+                p50: SimDuration::from_nanos(1),
+                p99: SimDuration::from_nanos(1),
+            }),
+            control: Some(ControlPlane::default()),
+            ..ServeConfig::default()
+        };
+        let report = layer().run(&mut rt, &cfg).unwrap();
+        assert_eq!(report.shed, 16, "every request is hopeless at arrival");
+        assert_eq!(report.admitted, 0);
+        assert_eq!(report.rejected, 0, "shed is not a quota rejection");
+        assert!(report.requests.iter().all(|r| r.verdict == Verdict::Shed));
+        assert_eq!(report.tenants.iter().map(|t| t.shed).sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn queue_depth_inflates_the_shedding_estimate() {
+        // SLO sits above the bare service estimate but below the
+        // depth-inflated one: early (shallow-queue) requests pass the
+        // check, later ones behind a standing queue are shed.
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        let probe_cfg = ServeConfig { requests: 1, tenants: 1, ..ServeConfig::default() };
+        let svc = layer().calibrate(&rt, &probe_cfg)[0];
+
+        let cfg = ServeConfig {
+            // Arrivals far denser than the service time → queue builds.
+            arrivals: ArrivalProcess::Poisson {
+                mean_gap: SimDuration::from_nanos(svc.as_nanos() / 64),
+            },
+            requests: 64,
+            tenants: 1,
+            slo: Some(Slo {
+                p50: svc,
+                p99: SimDuration::from_nanos(svc.as_nanos() * 2),
+            }),
+            control: Some(ControlPlane { depth_factor: 1.0, ..ControlPlane::default() }),
+            ..ServeConfig::default()
+        };
+        let report = layer().run(&mut rt, &cfg).unwrap();
+        assert!(report.shed > 0, "standing queue must trigger sheds");
+        assert!(report.admitted > 0, "shallow-queue arrivals still pass");
+        assert_eq!(report.requests[0].verdict, Verdict::Completed, "first request sees depth 0");
+    }
+
+    #[test]
+    fn brownout_switches_to_the_degraded_template() {
+        let mut l = layer();
+        l.register_degraded("unit", |req: &Request| {
+            let mut j = JobBuilder::new("unit-lite");
+            j.task(TaskSpec::new("work").work(WorkClass::Scalar, 500 + (req.seed % 500)));
+            j.build().unwrap()
+        });
+        let (topo, _ids) = single_server();
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        let cfg = ServeConfig {
+            requests: 32,
+            tenants: 1,
+            // An SLO every completed request misses, with shedding off:
+            // the first epoch's 100% bad fraction browns the tenant out
+            // for every later epoch.
+            slo: Some(Slo {
+                p50: SimDuration::from_nanos(1),
+                p99: SimDuration::from_nanos(1),
+            }),
+            control: Some(ControlPlane {
+                epochs: 4,
+                shed_deadlines: false,
+                brownout_bad_fraction: Some(0.5),
+                ..ControlPlane::default()
+            }),
+            ..ServeConfig::default()
+        };
+        let report = l.run(&mut rt, &cfg).unwrap();
+        assert!(report.degraded > 0, "later epochs must serve the degraded template");
+        assert!(
+            report.requests.iter().take(8).all(|r| !r.degraded),
+            "the first epoch runs before any brownout signal exists"
+        );
+        assert_eq!(
+            report.requests.iter().filter(|r| r.degraded).count(),
+            report.degraded,
+        );
+        assert_eq!(report.tenants[0].degraded, report.degraded);
+    }
+
+    #[test]
+    fn register_degraded_requires_the_primary() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut l = ServeLayer::new();
+            l.register_degraded("ghost", |_req: &Request| {
+                JobBuilder::new("ghost").build().unwrap()
+            });
+        }));
+        assert!(result.is_err(), "degraded variant without a primary must panic");
+    }
+
+    #[test]
+    fn goodput_subtracts_fast_failures() {
+        let r = ServeReport {
+            offered: 10,
+            admitted: 8,
+            rejected: 1,
+            shed: 1,
+            fast_failed: 3,
+            degraded: 0,
+            makespan: SimDuration::ZERO,
+            sojourn: Histogram::default(),
+            tenants: Vec::new(),
+            requests: Vec::new(),
+            util_curve: Vec::new(),
+            peak_util: 0.0,
+            spans: Vec::new(),
+            tail_attribution: Vec::new(),
+            burn: Vec::new(),
+            breaker_transitions: Vec::new(),
+            run: RunReport::default(),
+        };
+        assert_eq!(r.goodput(), 5);
     }
 }

@@ -5,6 +5,7 @@
 //! bit-for-bit identical [`ServeReport`] on every execution and at
 //! every shard count — latency SLOs included.
 
+use disagg_core::breaker::BreakerTransition;
 use disagg_core::report::RunReport;
 use disagg_hwsim::time::SimDuration;
 use disagg_obs::{Histogram, RequestSpan, TenantAttribution, TenantBurn};
@@ -18,6 +19,21 @@ pub struct Slo {
     pub p99: SimDuration,
 }
 
+/// How the serving control plane disposed of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Admitted and ran to completion.
+    Completed,
+    /// Rejected by quota admission (the tenant was over budget).
+    Rejected,
+    /// Shed at admission: the deadline check predicted the request
+    /// could not meet its SLO, so it never entered the system.
+    Shed,
+    /// Admitted, but failed fast during execution — its tenant's retry
+    /// budget emptied or its retries ran out under failure isolation.
+    FastFailed,
+}
+
 /// One request's fate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestRecord {
@@ -29,8 +45,15 @@ pub struct RequestRecord {
     pub arrival: SimDuration,
     /// Whether admission let it through.
     pub admitted: bool,
-    /// Sojourn time (arrival → last task finish); `None` if rejected.
+    /// Sojourn time (arrival → last task finish); `None` unless the
+    /// request completed.
     pub latency: Option<SimDuration>,
+    /// How the control plane disposed of it. Always `Completed` or
+    /// `Rejected` when the run has no [`crate::ControlPlane`].
+    pub verdict: Verdict,
+    /// Whether a brownout served this request from its tenant's
+    /// degraded template.
+    pub degraded: bool,
 }
 
 /// Per-tenant serving outcome.
@@ -44,6 +67,13 @@ pub struct TenantStats {
     pub admitted: usize,
     /// Requests rejected by quota admission.
     pub rejected: usize,
+    /// Requests shed by the deadline check (zero without a control
+    /// plane).
+    pub shed: usize,
+    /// Admitted requests that failed fast during execution.
+    pub fast_failed: usize,
+    /// Admitted requests served from the tenant's degraded template.
+    pub degraded: usize,
     /// Sojourn-time distribution (log2 buckets over virtual ns).
     pub sojourn: Histogram,
     /// Median sojourn bound from the histogram.
@@ -75,6 +105,14 @@ pub struct ServeReport {
     pub admitted: usize,
     /// Requests rejected by quota admission.
     pub rejected: usize,
+    /// Requests shed by the deadline check (zero without a control
+    /// plane).
+    pub shed: usize,
+    /// Admitted requests that failed fast during execution (retry
+    /// budget emptied or retries exhausted under failure isolation).
+    pub fast_failed: usize,
+    /// Admitted requests served from a degraded template (brownout).
+    pub degraded: usize,
     /// Virtual time from run start to the last task finish.
     pub makespan: SimDuration,
     /// Sojourn-time distribution across all admitted requests.
@@ -105,6 +143,10 @@ pub struct ServeReport {
     /// good/bad counts against each tenant's p99 SLO). Empty without a
     /// trace or when no tenant carries an SLO.
     pub burn: Vec<TenantBurn>,
+    /// Every circuit-breaker transition the runtime committed during
+    /// the run, in commit order. Empty when the runtime has no breaker
+    /// policy configured.
+    pub breaker_transitions: Vec<BreakerTransition>,
     /// The underlying executor report for the admitted batch.
     pub run: RunReport,
 }
@@ -126,5 +168,10 @@ impl ServeReport {
             return 1.0;
         }
         self.admitted as f64 / self.offered as f64
+    }
+
+    /// Requests that completed successfully (admitted minus fast-fails).
+    pub fn goodput(&self) -> usize {
+        self.admitted - self.fast_failed
     }
 }

@@ -12,12 +12,21 @@
 # FullObserver attached, and the guard fails if having observability
 # *on* costs more than OBS_OVERHEAD_MAX percent of events/sec.
 #
+# Also gates goodput under chaos: when the committed record carries a
+# serving.chaos section, a fresh quick chaos-under-load sweep must keep
+# the fault-aware control plane strictly ahead of the uncontrolled
+# baseline on SLO goodput, and its overall controls goodput fraction
+# must stay within CHAOS_TOLERANCE of the committed fraction. The sweep
+# is virtual-time-only, so this gate is deterministic (no wall-clock
+# noise).
+#
 # Usage:
 #   scripts/bench_guard.sh                 # guard j16_l24_w24 (+ serving_mix)
 #   scripts/bench_guard.sh j8_l16_w16      # guard another config
 #   TOLERANCE=0.80 scripts/bench_guard.sh  # loosen the floor
 #   RUNS=5 scripts/bench_guard.sh          # more samples (best-of)
 #   OBS_OVERHEAD_MAX=15 scripts/bench_guard.sh  # loosen the observer gate
+#   CHAOS_TOLERANCE=0.80 scripts/bench_guard.sh # loosen the chaos floor
 #
 # Wall-clock numbers only compare within one host class: run this on the
 # same machine class that produced the committed record (the record is
@@ -138,4 +147,56 @@ for cfg in $CONFIGS; do
     echo "bench_guard: ${cfg} OK: fresh ${fresh[$cfg]} events/sec vs committed ${committed} (floor ${TOLERANCE}x)"
   fi
 done
+
+# Goodput-under-chaos gate (skipped when the committed record predates
+# the chaos-under-load sweep). The fresh sweep runs in quick mode —
+# different load levels than the committed full-mode record, so the
+# comparison is on goodput *fractions* (SLO goodput / offered), not
+# absolute counts. Both sides are virtual-time-deterministic.
+CHAOS_TOLERANCE=${CHAOS_TOLERANCE:-0.90}
+has_chaos=$(python3 - <<'PY'
+import json
+rec = json.load(open("BENCH_disagg.json"))
+serving = rec.get("serving") or {}
+print(1 if serving.get("chaos") else 0)
+PY
+)
+if [ "$has_chaos" = "1" ]; then
+  echo "==> exp_driver --quick --only chaos_serve (goodput-under-chaos gate)" >&2
+  ./target/release/exp_driver --quick --only chaos_serve --no-thru \
+    --json bench_guard_chaos.json > /dev/null
+  if python3 - "$CHAOS_TOLERANCE" <<'PY'
+import json, sys
+tol = float(sys.argv[1])
+fresh = json.load(open("bench_guard_chaos.json"))["serving"]["chaos"]["rows"]
+committed = json.load(open("BENCH_disagg.json"))["serving"]["chaos"]["rows"]
+
+def fractions(rows):
+    base = [r for r in rows if not r["controls"]]
+    ctrl = [r for r in rows if r["controls"]]
+    assert ctrl and base, "chaos sweep missing a variant"
+    f = lambda rs: sum(r["goodput"] for r in rs) / sum(r["offered"] for r in rs)
+    return f(base), f(ctrl)
+
+fb, fc = fractions(fresh)
+_, cc = fractions(committed)
+ok = True
+if fc <= fb:
+    print(f"bench_guard: chaos goodput REGRESSED: controls fraction {fc:.3f} "
+          f"no longer beats baseline {fb:.3f}", file=sys.stderr)
+    ok = False
+if fc < tol * cc:
+    print(f"bench_guard: chaos goodput REGRESSED: fresh controls fraction "
+          f"{fc:.3f} < {tol} x committed {cc:.3f}", file=sys.stderr)
+    ok = False
+if ok:
+    print(f"bench_guard: chaos goodput OK: controls {fc:.3f} vs baseline "
+          f"{fb:.3f} (committed {cc:.3f}, floor {tol}x)")
+sys.exit(0 if ok else 1)
+PY
+  then :; else status=1; fi
+  rm -f bench_guard_chaos.json
+else
+  echo "bench_guard: committed record has no serving.chaos section; skipping chaos gate" >&2
+fi
 exit $status

@@ -61,7 +61,8 @@ pub use disagg_core::{
     RuntimeError, Submission, TaskProfile, TaskReport,
 };
 pub use disagg_serve::{
-    ArrivalProcess, Request, ServeConfig, ServeLayer, ServeReport, Slo, TenantStats,
+    ArrivalProcess, ControlPlane, Request, RequestRecord, ServeConfig, ServeLayer, ServeReport,
+    Slo, TenantStats, Verdict,
 };
 
 /// Ready-made topologies for examples, tests, and experiments.
@@ -79,7 +80,8 @@ pub mod prelude {
     pub use crate::presets;
     pub use disagg_core::prelude::*;
     pub use disagg_serve::{
-        ArrivalProcess, Request, ServeConfig, ServeLayer, ServeReport, Slo, TenantStats,
+        ArrivalProcess, ControlPlane, Request, RequestRecord, ServeConfig, ServeLayer,
+        ServeReport, Slo, TenantStats, Verdict,
     };
     pub use disagg_hwsim::fault::{FaultEvent, FaultInjector, FaultKind};
     pub use disagg_hwsim::rng::SimRng;

@@ -249,6 +249,113 @@ fn request_attribution_is_conservative_and_shard_invariant_under_faults() {
     );
 }
 
+/// The full fault-aware control plane — retry budgets, circuit
+/// breakers, deadline shedding, and brownout degradation — must be
+/// bit-for-bit deterministic across two executions and across shard
+/// counts under an active fault plan: every request verdict, latency,
+/// breaker transition, and shed/degraded/fast-failed count agrees.
+#[test]
+fn fault_aware_controls_are_deterministic_across_runs_and_shards() {
+    use disagg::hwsim::fault::{FaultInjector, FaultKind};
+    use disagg::serve::ControlPlane;
+
+    let dense = || ServeConfig {
+        arrivals: ArrivalProcess::Poisson { mean_gap: SimDuration::from_micros(15) },
+        requests: 48,
+        control: Some(ControlPlane { epochs: 4, ..ControlPlane::default() }),
+        ..cfg()
+    };
+
+    // Probe the healthy horizon so the fault windows land mid-run.
+    let horizon = {
+        let (topo, _rack) = disaggregated_rack(2, 4, 1, 8);
+        let mut rt = Runtime::new(topo, RuntimeConfig::default());
+        mix().run(&mut rt, &dense()).expect("probe run").makespan
+    };
+
+    let serve_controlled = |shards: usize| {
+        let (topo, rack) = disaggregated_rack(2, 4, 1, 8);
+        let mut faults = FaultInjector::none();
+        let mttf = horizon.0 / 4;
+        for k in 1..=2u64 {
+            let node = rack.nodes[(k as usize - 1) % rack.nodes.len()];
+            faults.schedule(SimTime(k * mttf), FaultKind::NodeCrash(node));
+            faults.schedule(SimTime(k * mttf + mttf / 2), FaultKind::NodeRecover(node));
+        }
+        let config = RuntimeConfig::traced()
+            .with_shards(shards)
+            .with_faults(faults)
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_detection_delay(SimDuration(2_000))
+                    .with_backoff(SimDuration(1_000)),
+            )
+            .with_fault_control(
+                FaultControlPolicy::default()
+                    .with_retry_budget(RetryBudgetPolicy::default().with_capacity(2))
+                    .with_breakers(
+                        BreakerPolicy::default()
+                            .with_trip_after(1)
+                            .with_cooldown(SimDuration::from_micros(100)),
+                    )
+                    .with_isolation(),
+            );
+        let mut rt = Runtime::new(topo, config);
+        let mut layer = mix();
+        layer.register_degraded("chain", |req: &Request| {
+            let mut j = JobBuilder::new("chain-lite");
+            j.task(TaskSpec::new("a").work(WorkClass::Scalar, 5_000 + req.seed % 500));
+            j.build().expect("degraded chain template")
+        });
+        let report = layer.run(&mut rt, &dense()).expect("controlled serving run");
+        let digest = run_digest(&report.run);
+        (report, digest)
+    };
+
+    let (base, base_digest) = serve_controlled(1);
+    assert!(base.admitted > 0, "stream must admit work");
+    assert!(
+        !base.breaker_transitions.is_empty(),
+        "mid-run node crashes must trip a breaker"
+    );
+    assert_eq!(
+        base.fast_failed,
+        base.run.failed_jobs.len(),
+        "every fast-failure maps to exactly one isolated job"
+    );
+    assert_eq!(
+        base.offered,
+        base.admitted + base.rejected + base.shed,
+        "verdicts partition the offered stream"
+    );
+
+    for shards in [1usize, 4] {
+        let (rep, digest) = serve_controlled(shards);
+        assert_eq!(
+            format!("{:?}", rep.requests),
+            format!("{:?}", base.requests),
+            "request records diverged at {shards} shard(s)"
+        );
+        assert_eq!(
+            format!("{:?}", rep.breaker_transitions),
+            format!("{:?}", base.breaker_transitions),
+            "breaker transitions diverged at {shards} shard(s)"
+        );
+        assert_eq!(
+            format!("{:?}", rep.tenants),
+            format!("{:?}", base.tenants),
+            "tenant stats diverged at {shards} shard(s)"
+        );
+        assert_eq!(
+            (rep.shed, rep.degraded, rep.fast_failed),
+            (base.shed, base.degraded, base.fast_failed),
+            "control verdicts diverged at {shards} shard(s)"
+        );
+        assert_eq!(rep.makespan, base.makespan, "makespan diverged at {shards} shard(s)");
+        assert_eq!(digest, base_digest, "executor schedule diverged at {shards} shard(s)");
+    }
+}
+
 /// The per-tenant SLO histograms must agree with latencies derived
 /// directly from the executor's task spans: rebuilding each tenant's
 /// sojourn histogram from the run report reproduces the published
